@@ -1,0 +1,72 @@
+"""Experiment E1 -- paper Table I: synthesis area without and with firewalls.
+
+Regenerates Table I from the calibrated area model (see DESIGN.md for the
+substitution rationale: no synthesis toolchain is available, so the model is
+built from the paper's own per-component breakdown and calibrated so the
+reference configuration reproduces the paper's totals exactly).
+
+Reproduction criteria checked here:
+
+* the protected-platform totals match the paper's row exactly,
+* the Local Firewall stays a small fraction of the LCF (the paper's "the cost
+  of Local Firewalls is limited"),
+* the Confidentiality + Integrity Cores dominate the LCF ("about 90% of Local
+  Ciphering Firewall area"),
+* the BRAM overhead matches the paper's +18.87%.
+
+The benchmark timing itself measures the cost of evaluating the area model
+for a full platform (cheap, but it is the unit of work every ablation sweep
+repeats thousands of times).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.analysis.report import PaperComparison, render_table1
+from repro.metrics.area import AreaModel, PAPER_REFERENCE_LF_COUNT, PAPER_TABLE1, generate_table1
+
+
+def _build_table():
+    model = AreaModel()
+    rows = generate_table1(model)
+    return model, rows
+
+
+def test_table1_area(benchmark, results_dir):
+    model, rows = benchmark(_build_table)
+
+    protected = model.platform_with_firewalls(n_local_firewalls=PAPER_REFERENCE_LF_COUNT)
+    paper = PAPER_TABLE1["generic_with_firewalls"]
+    baseline = PAPER_TABLE1["generic_without_firewalls"]
+
+    comparisons = [
+        PaperComparison("protected slice registers", paper.slice_registers,
+                        round(protected.slice_registers)),
+        PaperComparison("protected slice LUTs", paper.slice_luts, round(protected.slice_luts)),
+        PaperComparison("protected LUT-FF pairs", paper.lut_ff_pairs, round(protected.lut_ff_pairs)),
+        PaperComparison("protected BRAMs", paper.brams, round(protected.brams)),
+        PaperComparison("BRAM overhead (%)", 18.87,
+                        100.0 * (protected.brams - baseline.brams) / baseline.brams),
+        PaperComparison("crypto cores' share of LCF", 0.90, model.lcf_component_share()),
+    ]
+
+    # Reproduction criteria.
+    for comparison in comparisons[:4]:
+        assert comparison.matches(tolerance=0.0), comparison.metric
+    assert comparisons[4].matches(tolerance=0.01)
+    assert comparisons[5].matches(tolerance=0.05)
+
+    lf = model.local_firewall_area()
+    lcf = model.ciphering_firewall_area()
+    assert lf.slice_luts < 0.2 * lcf.slice_luts, "LF should stay small next to the LCF"
+
+    rendered = render_table1(rows)
+    rendered += "\n\npaper-vs-model comparison:\n"
+    for comparison in comparisons:
+        rendered += (
+            f"  {comparison.metric:<35} paper={comparison.paper_value:<10} "
+            f"model={comparison.measured_value:<12.2f} "
+            f"(rel. err {100 * comparison.relative_error:.2f}%)\n"
+        )
+    write_result(results_dir, "table1_area.txt", rendered)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each benchmark regenerates one table/figure of the paper (or one ablation
+called out in its text), asserts the reproduction criteria, and writes the
+rendered table to ``benchmarks/results/`` so the numbers can be inspected
+without re-running pytest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmarks drop their rendered tables."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, content: str) -> pathlib.Path:
+    """Store one rendered result table and return its path."""
+    path = results_dir / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

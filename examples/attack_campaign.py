@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Attack campaign: the full detection matrix of the threat model.
+
+Runs every attack of the paper's threat model (section III) against the
+unprotected platform and against the platform with the distributed firewalls,
+then prints the resulting detection/prevention matrix:
+
+* spoofing, replay and relocation of external-memory content,
+* a hijacked processor probing the dedicated IP's key registers,
+* a hijacked processor issuing a malformed (wrong data format) write,
+* a hijacked DMA engine exfiltrating secrets to unprotected memory,
+* a denial-of-service flood from a hijacked processor.
+
+Run with:  python examples/attack_campaign.py
+"""
+
+from repro.attacks import (
+    AttackCampaign,
+    DoSFloodAttack,
+    ExfiltrationAttack,
+    HijackedIPAttack,
+    RelocationAttack,
+    ReplayAttack,
+    SensitiveRegisterProbe,
+    SpoofingAttack,
+)
+from repro.attacks.campaign import default_platform_factory
+from repro.core.secure import SecurityConfiguration
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    factory = default_platform_factory(
+        security_config=SecurityConfiguration(
+            ddr_secure_size=4096,
+            ddr_cipher_only_size=4096,
+            flood_threshold=20,
+        )
+    )
+    campaign = AttackCampaign(
+        [
+            SpoofingAttack(),
+            ReplayAttack(),
+            RelocationAttack(),
+            SensitiveRegisterProbe(),
+            HijackedIPAttack(),
+            ExfiltrationAttack(),
+            DoSFloodAttack(n_requests=100),
+        ],
+        platform_factory=factory,
+    )
+    report = campaign.run()
+
+    rows = [
+        [
+            row["attack"],
+            row["unprotected"],
+            row["protected"],
+            row["detected"],
+            row["contained_at_if"],
+            row["detection_cycle"],
+        ]
+        for row in report.as_table_rows()
+    ]
+    print(
+        format_table(
+            ["attack", "unprotected platform", "protected platform",
+             "detected", "stopped at interface", "detection cycle"],
+            rows,
+            title="Attack campaign -- distributed firewalls vs the paper's threat model",
+        )
+    )
+    print()
+    summary = report.summary()
+    print(f"attacks run        : {summary['attacks']}")
+    print(f"prevented          : {summary['prevented']} "
+          f"({100 * summary['prevention_rate']:.0f}%)")
+    print(f"detected           : {summary['detected']} "
+          f"({100 * summary['detection_rate']:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

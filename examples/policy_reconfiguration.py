@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Runtime reconfiguration of security policies (the paper's perspectives).
+
+The paper's conclusion announces: "We also plan to integrate reconfiguration
+of security services (i.e. modification of security policies) to counter some
+attacks against the system."  This example exercises that extension:
+
+1. cpu1 is allowed read/write access to the shared BRAM mailbox,
+2. a burst of violations from cpu1 (it has been hijacked) makes the security
+   manager quarantine it automatically -- all further traffic from cpu1 is
+   dropped at its own Local Firewall,
+3. the operator re-provisions cpu1 and the manager releases the quarantine,
+   but also *reconfigures* the policy so cpu1 is now read-only on the mailbox,
+4. the reaction latency (cycles between detection and countermeasure) is
+   reported, illustrating the "react as fast as possible" requirement.
+
+Run with:  python examples/policy_reconfiguration.py
+"""
+
+from repro import build_reference_platform, secure_platform
+from repro.core.manager import ReactionPolicy
+from repro.core.secure import SecurityConfiguration, default_policies
+from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
+
+
+def issue(system, master, txn):
+    system.master_ports[master].issue(txn, lambda t: None)
+    system.run()
+    return txn
+
+
+def write(system, master, address, data):
+    return issue(system, master, BusTransaction(
+        master=master, operation=BusOperation.WRITE, address=address,
+        width=4, burst_length=len(data) // 4, data=data))
+
+
+def read(system, master, address):
+    return issue(system, master, BusTransaction(
+        master=master, operation=BusOperation.READ, address=address, width=4))
+
+
+def main() -> None:
+    system = build_reference_platform()
+    security = secure_platform(
+        system,
+        SecurityConfiguration(
+            ddr_secure_size=2048,
+            ddr_cipher_only_size=0,
+            reaction=ReactionPolicy(quarantine_after=3),
+        ),
+    )
+    cfg = system.config
+    manager = security.manager
+    mailbox = cfg.bram_base + 0x1000
+
+    # 1. Normal operation: cpu1 writes the mailbox.
+    txn = write(system, "cpu1", mailbox, b"\x01\x02\x03\x04")
+    print("normal mailbox write by cpu1 :", txn.status.value)
+
+    # 2. cpu1 is hijacked: it repeatedly probes the IP's key registers with
+    #    byte accesses (format violation) -- three strikes and it is out.
+    print("\n-- cpu1 starts misbehaving --")
+    for attempt in range(3):
+        probe = BusTransaction(master="cpu1", operation=BusOperation.WRITE,
+                               address=cfg.ip_regs_base, width=1, data=b"\xff")
+        issue(system, "cpu1", probe)
+        print(f"  malicious access #{attempt + 1}: {probe.status.value}")
+    firewall = security.master_firewalls["cpu1"]
+    print("cpu1 quarantined            :", firewall.quarantined)
+    print("reaction latency (cycles)   :", manager.reaction_latency())
+
+    # Even formerly-legitimate traffic is now stopped at cpu1's interface.
+    txn = write(system, "cpu1", mailbox, b"\x05\x06\x07\x08")
+    print("mailbox write while quarantined:", txn.status.value)
+    assert txn.status is TransactionStatus.BLOCKED_AT_MASTER
+
+    # 3. Operator re-provisions cpu1: released, but demoted to read-only.
+    print("\n-- operator re-provisions cpu1 --")
+    manager.release("cpu1")
+    readonly = default_policies()["internal_readonly"]
+    manager.reconfigure_policy("lf_cpu1", cfg.bram_base, readonly)
+    txn_read = read(system, "cpu1", mailbox)
+    txn_write = write(system, "cpu1", mailbox, b"\x09\x0a\x0b\x0c")
+    print("mailbox read after release  :", txn_read.status.value)
+    print("mailbox write after demotion:", txn_write.status.value)
+    assert txn_read.status is TransactionStatus.COMPLETED
+    assert txn_write.status is TransactionStatus.BLOCKED_AT_MASTER
+
+    # 4. Full audit trail.
+    print("\nmanager reactions:")
+    for event in manager.reactions:
+        print(f"  cycle {event.cycle:>6}: {event.kind:<20} target={event.target} {event.detail}")
+    print("\nalerts by violation type:", security.monitor.summary()["by_violation"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's platform, protect it, run traffic, attack it.
+
+This walks through the complete public API in five steps:
+
+1. build the unprotected reference platform (3 MicroBlaze-like CPUs, BRAM,
+   external DDR, one dedicated IP on a shared bus -- the paper's Figure 1),
+2. attach the distributed security enhancements (Local Firewalls on every
+   interface, Local Ciphering Firewall on the external memory),
+3. run legitimate traffic and observe that it completes with zero alerts
+   while the external memory only ever holds ciphertext,
+4. let a hijacked IP issue an unauthorized access and watch it being blocked
+   *at its own interface*, before it reaches the shared bus,
+5. print the security monitor's summary.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import build_reference_platform, secure_platform
+from repro.core.secure import SecurityConfiguration
+from repro.soc.processor import MemoryOperation, ProcessorProgram
+from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1+2
+    system = build_reference_platform()
+    security = secure_platform(
+        system,
+        SecurityConfiguration(ddr_secure_size=4096, ddr_cipher_only_size=4096),
+    )
+    print("Platform built:", ", ".join(system.processors), "+ dma, bram, ddr, ip0")
+    print("Firewalls attached:", ", ".join(fw.name for fw in security.all_firewalls))
+    print()
+
+    # ------------------------------------------------------------------ 3
+    cfg = system.config
+    secret = b"user PIN = 4242!"
+    program = ProcessorProgram(
+        [
+            # Internal traffic: BRAM and the dedicated IP's registers.
+            MemoryOperation.write(cfg.bram_base + 0x100, b"\x11\x22\x33\x44"),
+            MemoryOperation.read(cfg.bram_base + 0x100),
+            MemoryOperation.write(cfg.ip_regs_base + 0x10, (7).to_bytes(4, "little")),
+            # External traffic: lands in the ciphered + authenticated window.
+            MemoryOperation.write(cfg.ddr_base + 0x40, secret),
+            MemoryOperation.read(cfg.ddr_base + 0x40, width=4, burst_length=4),
+        ],
+        name="legitimate",
+    )
+    system.processors["cpu0"].load_program(program)
+    system.processors["cpu0"].start()
+    system.run()
+
+    cpu0 = system.processors["cpu0"]
+    readback = cpu0.transactions[-1].data
+    raw_in_ddr = system.ddr.peek(cfg.ddr_base + 0x40, len(secret))
+    print("cpu0 finished in", cpu0.execution_cycles, "cycles")
+    print("  secret written to external memory :", secret)
+    print("  what cpu0 reads back              :", readback)
+    print("  what the DDR chip actually stores :", raw_in_ddr.hex())
+    print("  alerts raised by legitimate traffic:", security.monitor.count())
+    assert readback == secret and raw_in_ddr != secret
+    print()
+
+    # ------------------------------------------------------------------ 4
+    # A hijacked DMA engine tries to read the dedicated IP's key registers.
+    probe = BusTransaction(
+        master="dma", operation=BusOperation.READ, address=cfg.ip_regs_base, width=4
+    )
+    system.master_ports["dma"].issue(probe, lambda txn: None)
+    system.run()
+    print("hijacked DMA probe of the IP key registers:")
+    print("  status             :", probe.status.value)
+    print("  reached the bus?   :", "dma" in system.bus.monitor.per_master)
+    print("  reason             :", probe.annotations.get("block_reason"))
+    assert probe.status is TransactionStatus.BLOCKED_AT_MASTER
+    print()
+
+    # ------------------------------------------------------------------ 5
+    print("security monitor summary:")
+    for key, value in security.monitor.summary().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Secure firmware update: stream an image into protected external memory.
+
+The scenario the paper's threat model worries about most is code or data in
+the *external* memory being tampered with and then executed/consumed by one of
+the processors.  This example:
+
+1. streams a firmware image into the ciphered + authenticated DDR window
+   through the Local Ciphering Firewall,
+2. verifies the processor reads back exactly what it wrote, while the DDR
+   chip itself only ever stores ciphertext,
+3. simulates an attacker on the external bus who patches the stored image
+   (spoofing) and shows that the next read is rejected with an integrity
+   error instead of delivering the attacker's code,
+4. simulates a replay of the original (stale) image after a legitimate
+   update, which is likewise rejected thanks to the timestamp tags.
+
+Run with:  python examples/secure_firmware_update.py
+"""
+
+from repro import build_reference_platform, secure_platform
+from repro.core.secure import SecurityConfiguration
+from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
+from repro.workloads.patterns import firmware_update_program
+
+
+def issue(system, master, txn):
+    """Issue one transaction and run the simulator until it completes."""
+    system.master_ports[master].issue(txn, lambda t: None)
+    system.run()
+    return txn
+
+
+def read_word(system, address, size=16):
+    return issue(
+        system,
+        "cpu0",
+        BusTransaction(master="cpu0", operation=BusOperation.READ, address=address,
+                       width=4, burst_length=size // 4),
+    )
+
+
+def main() -> None:
+    system = build_reference_platform()
+    security = secure_platform(
+        system, SecurityConfiguration(ddr_secure_size=4096, ddr_cipher_only_size=0)
+    )
+    cfg = system.config
+
+    # 1. Stream the image and read it back for verification.
+    program, image = firmware_update_program(cfg, image_size=1024, chunk_size=16)
+    system.processors["cpu0"].load_program(program)
+    system.processors["cpu0"].start()
+    system.run()
+
+    cpu0 = system.processors["cpu0"]
+    readback = b"".join(t.data for t in cpu0.transactions if t.is_read)
+    stored = system.ddr.peek(cfg.ddr_base, len(image))
+    print(f"firmware image size          : {len(image)} bytes")
+    print(f"read-back matches image      : {readback == image}")
+    print(f"DDR stores plaintext image?  : {stored == image}")
+    print(f"alerts during the update     : {security.monitor.count()}")
+    assert readback == image and stored != image
+
+    # 2. Spoofing: the attacker patches the stored firmware directly.
+    print("\n-- attacker patches 16 bytes of the stored firmware (spoofing) --")
+    system.ddr.poke(cfg.ddr_base + 0x80, b"\xde\xad\xbe\xef" * 4)
+    txn = read_word(system, cfg.ddr_base + 0x80)
+    print(f"victim read status           : {txn.status.value}")
+    print(f"integrity alerts             : "
+          f"{security.monitor.summary()['by_violation'].get('integrity_failure', 0)}")
+    assert txn.status is TransactionStatus.INTEGRITY_ERROR
+
+    # 3. Replay: attacker restores the original image over a newer version.
+    print("\n-- legitimate update of one block, then attacker replays the old one --")
+    block_address = cfg.ddr_base + 0x100
+    stale_ciphertext = system.ddr.peek(block_address, 32)
+    update = BusTransaction(master="cpu0", operation=BusOperation.WRITE,
+                            address=block_address, width=4, burst_length=8,
+                            data=b"PATCHED-FIRMWARE-BLOCK-v2.0.1!!!")
+    issue(system, "cpu0", update)
+    system.ddr.poke(block_address, stale_ciphertext)   # replay the old ciphertext
+    txn = read_word(system, block_address, 32)
+    print(f"victim read status           : {txn.status.value}")
+    assert txn.status is TransactionStatus.INTEGRITY_ERROR
+
+    print("\ntotal alerts:", security.monitor.count())
+    print("detection summary:", security.monitor.summary()["by_violation"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (which need ``bdist_wheel``)
+fail.  Keeping a ``setup.py`` lets ``pip install -e . --no-build-isolation``
+fall back to the legacy ``setup.py develop`` path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

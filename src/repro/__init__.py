@@ -1,0 +1,64 @@
+"""repro -- reproduction of "Distributed security for communications and
+memories in a multiprocessor architecture" (Cotret et al., RAW/IPDPS 2011).
+
+The package is organised bottom-up:
+
+* :mod:`repro.crypto` -- AES-128, SHA-256, CMAC/HMAC, Merkle hash trees,
+  timestamp/nonce management, key store,
+* :mod:`repro.soc` -- behavioural MPSoC simulator (event kernel, shared bus,
+  BRAM/DDR, MicroBlaze-like processors, DMA, register-file IP),
+* :mod:`repro.core` -- the paper's contribution: security policies,
+  configuration memories, Local Firewalls, the Local Ciphering Firewall,
+  alerts and the reconfiguration manager,
+* :mod:`repro.attacks` -- spoofing / replay / relocation / hijack / DoS
+  attack injection and campaign scoring,
+* :mod:`repro.workloads` -- synthetic and application-shaped workloads,
+* :mod:`repro.metrics` -- area model (Table I), latency model (Table II),
+  execution-overhead analysis,
+* :mod:`repro.analysis` -- tables, architecture reports, paper comparison.
+
+Quickstart::
+
+    from repro import build_reference_platform, secure_platform
+    system = build_reference_platform()
+    security = secure_platform(system)
+    # load programs, run, inspect security.monitor ...
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
+from repro.core.secure import SecurityConfiguration, SecuredPlatform, secure_platform
+from repro.core.policy import (
+    ConfidentialityMode,
+    ConfigurationMemory,
+    IntegrityMode,
+    ReadWriteAccess,
+    SecurityPolicy,
+)
+from repro.core.local_firewall import LocalFirewall
+from repro.core.ciphering_firewall import LocalCipheringFirewall
+from repro.core.alerts import SecurityMonitor, ViolationType
+from repro.core.manager import SecurityPolicyManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SoCConfig",
+    "SoCSystem",
+    "build_reference_platform",
+    "SecurityConfiguration",
+    "SecuredPlatform",
+    "secure_platform",
+    "SecurityPolicy",
+    "ConfigurationMemory",
+    "ReadWriteAccess",
+    "ConfidentialityMode",
+    "IntegrityMode",
+    "LocalFirewall",
+    "LocalCipheringFirewall",
+    "SecurityMonitor",
+    "ViolationType",
+    "SecurityPolicyManager",
+]

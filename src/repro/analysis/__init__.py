@@ -1,0 +1,20 @@
+"""Reporting helpers: ASCII tables, architecture reports, paper comparison."""
+
+from repro.analysis.tables import format_table, format_resource_table
+from repro.analysis.report import (
+    ArchitectureReport,
+    ExperimentRecord,
+    PaperComparison,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "format_table",
+    "format_resource_table",
+    "ArchitectureReport",
+    "ExperimentRecord",
+    "PaperComparison",
+    "render_table1",
+    "render_table2",
+]

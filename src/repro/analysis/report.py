@@ -1,0 +1,166 @@
+"""Experiment reporting: architecture description (Figure 1), regenerated
+tables, and paper-vs-measured comparison records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_resource_table, format_table
+from repro.metrics.area import Table1Row
+from repro.metrics.latency import Table2Row
+
+__all__ = [
+    "ArchitectureReport",
+    "ExperimentRecord",
+    "PaperComparison",
+    "render_table1",
+    "render_table2",
+]
+
+
+@dataclass
+class ArchitectureReport:
+    """Textual regeneration of the paper's Figure 1 (structural diagram).
+
+    Built from :meth:`repro.soc.system.SoCSystem.describe_topology`, augmented
+    with the firewall placement of a secured platform when available.
+    """
+
+    topology: Dict[str, object]
+
+    def render(self) -> str:
+        lines: List[str] = ["Platform architecture (paper Figure 1)", ""]
+        lines.append(f"shared bus: {self.topology['bus']}")
+        lines.append("")
+        lines.append("bus masters:")
+        for name, info in sorted(self.topology["masters"].items()):  # type: ignore[union-attr]
+            filters = info["filters"] or ["(no firewall)"]
+            lines.append(f"  {name:<10} --[{', '.join(filters)}]--> bus")
+        lines.append("")
+        lines.append("bus slaves:")
+        for name, info in sorted(self.topology["slaves"].items()):  # type: ignore[union-attr]
+            filters = info["filters"] or ["(no firewall)"]
+            lines.append(f"  bus --[{', '.join(filters)}]--> {name:<10} ({info['device']})")
+        lines.append("")
+        lines.append("address map:")
+        for region in self.topology["regions"]:  # type: ignore[union-attr]
+            location = "external" if region["external"] else "on-chip"
+            lines.append(
+                f"  {region['name']:<10} {region['base']:#010x} .. "
+                f"{region['base'] + region['size'] - 1:#010x}  -> {region['slave']} ({location})"
+            )
+        return "\n".join(lines)
+
+    def firewall_count(self) -> int:
+        """Number of interfaces that carry at least one firewall filter."""
+        count = 0
+        for info in list(self.topology["masters"].values()) + list(self.topology["slaves"].values()):  # type: ignore[union-attr]
+            if info["filters"]:
+                count += 1
+        return count
+
+
+@dataclass
+class PaperComparison:
+    """One paper-reported value next to the value this reproduction obtained."""
+
+    metric: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / |paper| (0 when the paper value is zero and matched)."""
+        if self.paper_value == 0:
+            return 0.0 if self.measured_value == 0 else float("inf")
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    def matches(self, tolerance: float = 0.05) -> bool:
+        """Whether the measured value is within ``tolerance`` of the paper's."""
+        return self.relative_error <= tolerance
+
+
+@dataclass
+class ExperimentRecord:
+    """Container gathering everything one experiment produced.
+
+    Used by EXPERIMENTS.md generation and by the benchmark harnesses to print
+    a uniform summary per experiment.
+    """
+
+    experiment_id: str
+    description: str
+    comparisons: List[PaperComparison] = field(default_factory=list)
+    tables: Dict[str, str] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_comparison(self, comparison: PaperComparison) -> None:
+        self.comparisons.append(comparison)
+
+    def add_table(self, name: str, rendered: str) -> None:
+        self.tables[name] = rendered
+
+    def matched_fraction(self, tolerance: float = 0.05) -> float:
+        """Fraction of comparisons within tolerance of the paper value."""
+        if not self.comparisons:
+            return 1.0
+        matched = sum(1 for c in self.comparisons if c.matches(tolerance))
+        return matched / len(self.comparisons)
+
+    def render(self) -> str:
+        lines = [f"Experiment {self.experiment_id}: {self.description}", ""]
+        if self.comparisons:
+            rows = [
+                [c.metric, c.paper_value, c.measured_value, c.unit,
+                 f"{100 * c.relative_error:.1f}%" if c.relative_error != float("inf") else "inf"]
+                for c in self.comparisons
+            ]
+            lines.append(
+                format_table(
+                    ["metric", "paper", "measured", "unit", "rel. error"], rows
+                )
+            )
+            lines.append("")
+        for name, table in self.tables.items():
+            lines.append(table)
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[Table1Row], title: str = "Table I -- synthesis results (area model)") -> str:
+    """Render regenerated Table I rows."""
+    return format_resource_table(rows, title=title)
+
+
+def render_table2(rows: Sequence[Table2Row], title: str = "Table II -- firewall module latency") -> str:
+    """Render regenerated Table II rows."""
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.module,
+                row.measured_cycles,
+                row.paper_cycles,
+                row.ideal_throughput_mbps,
+                row.paper_throughput_mbps,
+                row.operations,
+            ]
+        )
+    return format_table(
+        [
+            "module",
+            "measured cycles/op",
+            "paper cycles",
+            "ideal throughput (Mb/s)",
+            "paper throughput (Mb/s)",
+            "operations",
+        ],
+        body,
+        title=title,
+    )

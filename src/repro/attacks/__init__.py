@@ -1,0 +1,42 @@
+"""Attack injection framework.
+
+The threat model (paper, section III) considers logical attacks mounted
+through the external bus and the external memory, with three attacker goals:
+processor hijacking, extraction of secret information and denial of service.
+The concrete attack classes here exercise each of the vectors the paper
+enumerates:
+
+* :class:`SpoofingAttack`, :class:`RelocationAttack`, :class:`ReplayAttack`
+  -- tampering with the external memory contents (section III-B),
+* :class:`HijackedIPAttack`, :class:`SensitiveRegisterProbe`,
+  :class:`ExfiltrationAttack` -- an infected on-chip IP issuing unauthorized
+  accesses (the case the Local Firewalls must stop at the interface),
+* :class:`DoSFloodAttack` -- overwhelming traffic injection.
+
+:class:`AttackCampaign` runs a list of attacks against a platform (protected
+or not) and produces the detection matrix used by the E6 experiment and the
+``attack_campaign`` example.
+"""
+
+from repro.attacks.base import Attack, AttackOutcome, AttackResult
+from repro.attacks.injector import AttackerMaster
+from repro.attacks.memory_attacks import RelocationAttack, ReplayAttack, SpoofingAttack
+from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
+from repro.attacks.dos import DoSFloodAttack
+from repro.attacks.campaign import AttackCampaign, CampaignReport
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "AttackOutcome",
+    "AttackerMaster",
+    "SpoofingAttack",
+    "ReplayAttack",
+    "RelocationAttack",
+    "HijackedIPAttack",
+    "SensitiveRegisterProbe",
+    "ExfiltrationAttack",
+    "DoSFloodAttack",
+    "AttackCampaign",
+    "CampaignReport",
+]

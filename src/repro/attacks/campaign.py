@@ -1,0 +1,152 @@
+"""Attack campaigns: run a battery of attacks against protected and
+unprotected platforms and build the detection matrix.
+
+This is the harness behind the E6 experiment of DESIGN.md (the paper's
+qualitative security claims turned into a measurable matrix) and behind the
+``attack_campaign`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.base import Attack, AttackResult
+from repro.core.secure import SecuredPlatform, SecurityConfiguration, secure_platform
+from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
+
+__all__ = ["AttackCampaign", "CampaignReport", "default_platform_factory"]
+
+
+PlatformFactory = Callable[[bool], Tuple[SoCSystem, Optional[SecuredPlatform]]]
+
+
+def default_platform_factory(
+    soc_config: Optional[SoCConfig] = None,
+    security_config: Optional[SecurityConfiguration] = None,
+) -> PlatformFactory:
+    """Factory building a fresh reference platform per attack run.
+
+    A fresh platform per attack keeps runs independent: alerts, quarantines
+    and memory tampering from one attack cannot influence the next.
+    """
+
+    def factory(protected: bool) -> Tuple[SoCSystem, Optional[SecuredPlatform]]:
+        system = build_reference_platform(
+            SoCConfig(**soc_config.__dict__) if soc_config is not None else None
+        )
+        if not protected:
+            return system, None
+        config = security_config or SecurityConfiguration(flood_threshold=20)
+        security = secure_platform(system, config)
+        return system, security
+
+    return factory
+
+
+@dataclass
+class CampaignRow:
+    """Outcome of one attack on both platform variants."""
+
+    attack: str
+    goal: str
+    unprotected: AttackResult
+    protected: AttackResult
+
+    @property
+    def prevented(self) -> bool:
+        """Attack works on the unprotected platform but not on the protected one."""
+        return self.unprotected.achieved_goal and not self.protected.achieved_goal
+
+    @property
+    def detected(self) -> bool:
+        return self.protected.detected
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results."""
+
+    rows: List[CampaignRow] = field(default_factory=list)
+
+    def add(self, row: CampaignRow) -> None:
+        self.rows.append(row)
+
+    @property
+    def n_attacks(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_prevented(self) -> int:
+        return sum(1 for row in self.rows if row.prevented)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(1 for row in self.rows if row.detected)
+
+    def detection_rate(self) -> float:
+        return self.n_detected / self.n_attacks if self.rows else 0.0
+
+    def prevention_rate(self) -> float:
+        return self.n_prevented / self.n_attacks if self.rows else 0.0
+
+    def as_table_rows(self) -> List[Dict[str, object]]:
+        """Row dictionaries suitable for the table renderer."""
+        out = []
+        for row in self.rows:
+            out.append(
+                {
+                    "attack": row.attack,
+                    "unprotected": row.unprotected.outcome.value,
+                    "protected": row.protected.outcome.value,
+                    "detected": "yes" if row.detected else "no",
+                    "contained_at_if": "yes" if row.protected.contained_at_interface else "no",
+                    "detection_cycle": row.protected.detection_cycle
+                    if row.protected.detection_cycle is not None
+                    else "-",
+                }
+            )
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "attacks": self.n_attacks,
+            "prevented": self.n_prevented,
+            "detected": self.n_detected,
+            "detection_rate": self.detection_rate(),
+            "prevention_rate": self.prevention_rate(),
+        }
+
+
+class AttackCampaign:
+    """Run a sequence of attacks against protected and unprotected platforms."""
+
+    def __init__(
+        self,
+        attacks: Sequence[Attack],
+        platform_factory: Optional[PlatformFactory] = None,
+    ) -> None:
+        if not attacks:
+            raise ValueError("campaign needs at least one attack")
+        self.attacks = list(attacks)
+        self.platform_factory = platform_factory or default_platform_factory()
+
+    def run(self) -> CampaignReport:
+        """Execute every attack on both platform variants."""
+        report = CampaignReport()
+        for attack in self.attacks:
+            system_plain, _ = self.platform_factory(False)
+            unprotected_result = attack.run(system_plain, None)
+
+            system_secure, security = self.platform_factory(True)
+            protected_result = attack.run(system_secure, security)
+
+            report.add(
+                CampaignRow(
+                    attack=attack.name,
+                    goal=attack.goal,
+                    unprotected=unprotected_result,
+                    protected=protected_result,
+                )
+            )
+        return report

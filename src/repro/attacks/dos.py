@@ -1,0 +1,80 @@
+"""Denial-of-service attacks: overwhelming traffic injection.
+
+The threat model lists DoS explicitly: "cancelling out security services to
+stop the system, disabling communications, injecting dummy data to create
+overwhelming traffic".  The flood attack here hijacks one master and makes it
+inject a dense stream of dummy reads; success is measured by how much of the
+flood actually reaches the shared bus (and therefore steals bandwidth from
+the legitimate processors).  A Local Firewall configured with a traffic-flood
+threshold drops the excess requests at the infected IP's interface and raises
+TRAFFIC_FLOOD alerts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.injector import AttackerMaster
+from repro.core.secure import SecuredPlatform
+from repro.soc.system import SoCSystem
+
+__all__ = ["DoSFloodAttack"]
+
+
+class DoSFloodAttack(Attack):
+    """Flood the bus with dummy reads from a hijacked master."""
+
+    name = "dos_flood"
+    goal = "saturate the shared bus with dummy traffic"
+
+    def __init__(
+        self,
+        hijacked_master: str = "cpu2",
+        n_requests: int = 200,
+        interval: int = 1,
+        target_offset: int = 0x0,
+        success_fraction: float = 0.5,
+    ) -> None:
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if not 0.0 < success_fraction <= 1.0:
+            raise ValueError("success_fraction must be in (0, 1]")
+        self.hijacked_master = hijacked_master
+        self.n_requests = n_requests
+        self.interval = interval
+        self.target_offset = target_offset
+        self.success_fraction = success_fraction
+
+    def run(self, system: SoCSystem, security: Optional[SecuredPlatform] = None) -> AttackResult:
+        baseline_alerts = len(security.monitor.alerts) if security else 0
+        baseline_bus = system.bus.monitor.count()
+        target = system.config.bram_base + self.target_offset
+
+        # The flood is issued through the hijacked master's own (possibly
+        # firewalled) port, under the hijacked master's identity.
+        port = system.master_ports[self.hijacked_master]
+        attacker = AttackerMaster(system.sim, self.hijacked_master, port)
+        attacker.flood(target, count=self.n_requests, interval=self.interval)
+        system.run()
+
+        reached_bus = system.bus.monitor.count() - baseline_bus
+        flood_effective = reached_bus >= self.success_fraction * self.n_requests
+        alerts = self._alerts_since(security, baseline_alerts)
+        return AttackResult(
+            attack=self.name,
+            goal=self.goal,
+            achieved_goal=flood_effective,
+            detected=alerts > 0,
+            contained_at_interface=attacker.blocked_count() > 0,
+            detection_cycle=self._detection_cycle_since(security, baseline_alerts),
+            alerts=alerts,
+            detail=(
+                f"{reached_bus}/{self.n_requests} flood requests reached the bus, "
+                f"{attacker.blocked_count()} dropped at the interface"
+            ),
+            extra={
+                "reached_bus": reached_bus,
+                "dropped_at_interface": attacker.blocked_count(),
+            },
+        )

@@ -1,0 +1,202 @@
+"""External-memory tampering attacks: spoofing, replay, relocation.
+
+These are the three attacks the paper's threat model calls out for the
+external bus: "an attacker can perform replay, relocation and spoofing
+attacks" (section III-B).  All three are modelled as direct manipulation of
+the DDR backing store (the attacker sits on the external bus / memory chips,
+outside the FPGA), followed by a victim access that would consume the
+tampered data:
+
+* **spoofing** -- overwrite a protected location with attacker-chosen bytes,
+* **replay** -- restore a previously captured (valid at the time) snapshot of
+  a location after the victim has updated it,
+* **relocation** -- copy valid protected content from one address to another.
+
+On the protected platform the Local Ciphering Firewall must flag all three
+when the victim reads the affected location (integrity failure) — and the
+victim must never consume the tampered value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attacks.base import Attack, AttackResult, issue_sync
+from repro.core.secure import SecuredPlatform
+from repro.soc.system import SoCSystem
+from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
+
+__all__ = ["SpoofingAttack", "ReplayAttack", "RelocationAttack"]
+
+
+def _victim_write(system: SoCSystem, victim: str, address: int, data: bytes) -> BusTransaction:
+    txn = BusTransaction(
+        master=victim,
+        operation=BusOperation.WRITE,
+        address=address,
+        width=4,
+        burst_length=max(1, len(data) // 4),
+        data=data,
+    )
+    issue_sync(system, victim, txn)
+    return txn
+
+
+def _victim_read(system: SoCSystem, victim: str, address: int, size: int) -> BusTransaction:
+    txn = BusTransaction(
+        master=victim,
+        operation=BusOperation.READ,
+        address=address,
+        width=4,
+        burst_length=max(1, size // 4),
+    )
+    issue_sync(system, victim, txn)
+    return txn
+
+
+class SpoofingAttack(Attack):
+    """Overwrite protected external memory with attacker-chosen bytes."""
+
+    name = "spoofing"
+    goal = "make the victim consume attacker-chosen data from external memory"
+
+    def __init__(
+        self,
+        target_offset: int = 0x40,
+        payload: bytes = b"EVILCODEEVILCODE",
+        victim: str = "cpu0",
+    ) -> None:
+        if len(payload) % 4 != 0:
+            raise ValueError("payload length must be a multiple of 4")
+        self.target_offset = target_offset
+        self.payload = payload
+        self.victim = victim
+
+    def run(self, system: SoCSystem, security: Optional[SecuredPlatform] = None) -> AttackResult:
+        address = system.config.ddr_base + self.target_offset
+        baseline_alerts = len(security.monitor.alerts) if security else 0
+
+        # The victim legitimately stores data first (so the location is live).
+        original = bytes(range(len(self.payload)))
+        _victim_write(system, self.victim, address, original)
+
+        # Attacker tampers with the external memory directly.
+        system.ddr.poke(address, self.payload)
+
+        # Victim reads the location back.
+        read_txn = _victim_read(system, self.victim, address, len(self.payload))
+
+        consumed_payload = (
+            read_txn.status is TransactionStatus.COMPLETED
+            and read_txn.data == self.payload
+        )
+        alerts = self._alerts_since(security, baseline_alerts)
+        return AttackResult(
+            attack=self.name,
+            goal=self.goal,
+            achieved_goal=consumed_payload,
+            detected=alerts > 0,
+            detection_cycle=self._detection_cycle_since(security, baseline_alerts),
+            alerts=alerts,
+            detail=f"victim read returned status {read_txn.status.value}",
+            extra={"victim_read_status": read_txn.status.value},
+        )
+
+
+class ReplayAttack(Attack):
+    """Restore a stale (previously valid) snapshot of protected memory."""
+
+    name = "replay"
+    goal = "make the victim accept stale data that was valid in the past"
+
+    def __init__(self, target_offset: int = 0x80, victim: str = "cpu0", block_size: int = 32) -> None:
+        self.target_offset = target_offset
+        self.victim = victim
+        self.block_size = block_size
+
+    def run(self, system: SoCSystem, security: Optional[SecuredPlatform] = None) -> AttackResult:
+        address = system.config.ddr_base + self.target_offset
+        block_base = address - (address % self.block_size)
+        baseline_alerts = len(security.monitor.alerts) if security else 0
+
+        old_value = b"OLDBALANCE=0100!"
+        new_value = b"NEWBALANCE=0001!"
+
+        # Victim writes the old value; attacker snapshots the raw external
+        # memory (ciphertext on the protected platform, plaintext otherwise).
+        _victim_write(system, self.victim, address, old_value)
+        snapshot = system.ddr.peek(block_base, self.block_size)
+
+        # Victim updates the value; attacker replays the stale snapshot.
+        _victim_write(system, self.victim, address, new_value)
+        system.ddr.poke(block_base, snapshot)
+
+        read_txn = _victim_read(system, self.victim, address, len(old_value))
+        accepted_stale = (
+            read_txn.status is TransactionStatus.COMPLETED and read_txn.data == old_value
+        )
+        alerts = self._alerts_since(security, baseline_alerts)
+        return AttackResult(
+            attack=self.name,
+            goal=self.goal,
+            achieved_goal=accepted_stale,
+            detected=alerts > 0,
+            detection_cycle=self._detection_cycle_since(security, baseline_alerts),
+            alerts=alerts,
+            detail=f"victim read returned status {read_txn.status.value}",
+            extra={"victim_read_status": read_txn.status.value},
+        )
+
+
+class RelocationAttack(Attack):
+    """Copy valid protected content to a different protected address."""
+
+    name = "relocation"
+    goal = "make valid data be accepted at a different address than it was written to"
+
+    def __init__(
+        self,
+        source_offset: int = 0x100,
+        destination_offset: int = 0x200,
+        victim: str = "cpu0",
+        block_size: int = 32,
+    ) -> None:
+        if source_offset % block_size != 0 or destination_offset % block_size != 0:
+            raise ValueError("offsets must be aligned to the protection block size")
+        self.source_offset = source_offset
+        self.destination_offset = destination_offset
+        self.victim = victim
+        self.block_size = block_size
+
+    def run(self, system: SoCSystem, security: Optional[SecuredPlatform] = None) -> AttackResult:
+        source = system.config.ddr_base + self.source_offset
+        destination = system.config.ddr_base + self.destination_offset
+        baseline_alerts = len(security.monitor.alerts) if security else 0
+
+        secret_block = b"JUMP_TO_SECURE_BOOT_VECTOR_0000!"[: self.block_size].ljust(self.block_size, b"!")
+        victim_block = b"JUMP_TO_NORMAL_APP_ENTRYPOINT_0!"[: self.block_size].ljust(self.block_size, b"!")
+
+        # Victim writes two distinct blocks.
+        _victim_write(system, self.victim, source, secret_block)
+        _victim_write(system, self.victim, destination, victim_block)
+
+        # Attacker copies the raw external-memory image of the source block
+        # over the destination block (ciphertext relocation).
+        raw = system.ddr.peek(source, self.block_size)
+        system.ddr.poke(destination, raw)
+
+        read_txn = _victim_read(system, self.victim, destination, self.block_size)
+        accepted_relocated = (
+            read_txn.status is TransactionStatus.COMPLETED and read_txn.data == secret_block
+        )
+        alerts = self._alerts_since(security, baseline_alerts)
+        return AttackResult(
+            attack=self.name,
+            goal=self.goal,
+            achieved_goal=accepted_relocated,
+            detected=alerts > 0,
+            detection_cycle=self._detection_cycle_since(security, baseline_alerts),
+            alerts=alerts,
+            detail=f"victim read returned status {read_txn.status.value}",
+            extra={"victim_read_status": read_txn.status.value},
+        )

@@ -1,0 +1,60 @@
+"""Calibration constants taken directly from the paper.
+
+Table II of the paper reports the latency and throughput of the firewall
+modules measured on the ML605 platform:
+
+===========================  ==========  ==================
+module                        cycles      throughput (Mb/s)
+===========================  ==========  ==================
+Security Builder (LF & LCF)   12          --
+Confidentiality Core (AES)    11          450
+Integrity Core (hash tree)    20          131
+===========================  ==========  ==================
+
+Table I reports the synthesis area of the firewall components on the
+XC6VLX240T (slice registers, slice LUTs, fully-used LUT-FF pairs, BRAMs);
+those numbers live in :mod:`repro.metrics.area` next to the model that uses
+them.  The latency constants live here because the firewalls themselves charge
+these cycle counts to every transaction they process, which is how Table II
+and the execution-time ablations are regenerated.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BUS_CLOCK_HZ",
+    "SECURITY_BUILDER_CYCLES",
+    "CONFIDENTIALITY_CORE_CYCLES",
+    "INTEGRITY_CORE_CYCLES",
+    "CONFIDENTIALITY_CORE_THROUGHPUT_MBPS",
+    "INTEGRITY_CORE_THROUGHPUT_MBPS",
+    "AES_BLOCK_BITS",
+    "INTEGRITY_BLOCK_BYTES",
+]
+
+#: Nominal bus/processor clock of the evaluated MicroBlaze platform.
+BUS_CLOCK_HZ: float = 100e6
+
+#: Cycles the Security Builder needs to fetch a policy and run the checking
+#: modules (Table II, first row).  Identical for LF and LCF.
+SECURITY_BUILDER_CYCLES: int = 12
+
+#: Cycles the AES-128 Confidentiality Core needs per 128-bit block
+#: (Table II, second row).
+CONFIDENTIALITY_CORE_CYCLES: int = 11
+
+#: Cycles the hash-tree Integrity Core needs per protected block
+#: (Table II, third row).
+INTEGRITY_CORE_CYCLES: int = 20
+
+#: Throughput the paper reports for the Confidentiality Core.
+CONFIDENTIALITY_CORE_THROUGHPUT_MBPS: float = 450.0
+
+#: Throughput the paper reports for the Integrity Core.
+INTEGRITY_CORE_THROUGHPUT_MBPS: float = 131.0
+
+#: AES block size in bits (used to convert cycles to throughput).
+AES_BLOCK_BITS: int = 128
+
+#: Size of one Integrity Core protected block / hash-tree leaf in bytes.
+INTEGRITY_BLOCK_BYTES: int = 32

@@ -1,0 +1,303 @@
+"""Attach the distributed security enhancements to a platform.
+
+:func:`secure_platform` takes an unprotected :class:`~repro.soc.system.SoCSystem`
+(as produced by :func:`repro.soc.system.build_reference_platform`) and builds
+the protected system of the paper's Figure 1:
+
+* a Local Firewall on every master interface (each MicroBlaze, the DMA IP),
+* a Local Firewall on every internal slave interface (BRAM, dedicated IP),
+* a Local Ciphering Firewall between the bus and the external DDR,
+* one trusted Configuration Memory per firewall, one platform-wide
+  :class:`SecurityMonitor` and one :class:`SecurityPolicyManager`.
+
+The default security policies follow the paper's threat model: internal
+communications are not encrypted (the LFs protect them against unauthorized
+access), while the external memory is split into a ciphered+authenticated
+window, a ciphered-only window and an unprotected window ("many systems do
+not provide a uniform protection but allow some parts of the memory to be
+unprotected or only ciphered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.alerts import SecurityMonitor
+from repro.core.ciphering_firewall import LocalCipheringFirewall
+from repro.core.local_firewall import LocalFirewall
+from repro.core.manager import ReactionPolicy, SecurityPolicyManager
+from repro.core.policy import (
+    ConfidentialityMode,
+    ConfigurationMemory,
+    IntegrityMode,
+    ReadWriteAccess,
+    SecurityPolicy,
+)
+from repro.crypto.keys import KeyStore, random_key
+from repro.soc.system import SoCSystem
+
+__all__ = ["SecurityConfiguration", "SecuredPlatform", "secure_platform", "default_policies"]
+
+
+# Well-known SPI values used by the default configuration.
+SPI_INTERNAL_FULL = 1
+SPI_INTERNAL_READONLY = 2
+SPI_IP_REGISTERS = 3
+SPI_DDR_SECURE = 10
+SPI_DDR_CIPHER_ONLY = 11
+SPI_DDR_PLAIN = 12
+
+
+@dataclass
+class SecurityConfiguration:
+    """Tunable parameters of the protected platform."""
+
+    #: Attach Local Firewalls to master interfaces (CPUs, DMA).
+    protect_masters: bool = True
+    #: Attach Local Firewalls to the internal slave interfaces (BRAM, IP).
+    protect_internal_slaves: bool = True
+    #: Attach the Local Ciphering Firewall to the external memory interface.
+    protect_external_memory: bool = True
+
+    #: Size of the ciphered + authenticated window at the bottom of the DDR.
+    #: Kept small by default because the behavioural AES/SHA models are pure
+    #: Python; enlarge for experiments that need a bigger protected footprint.
+    ddr_secure_size: int = 8 * 1024
+    #: Size of the ciphered-only window that follows it.
+    ddr_cipher_only_size: int = 8 * 1024
+
+    #: Masters allowed to reach the dedicated IP's registers.  cpu2 and the
+    #: DMA engine are deliberately left out by default: they have no business
+    #: touching the IP's key/control registers, which is what makes the
+    #: hijacked-IP attack scenarios meaningful.
+    ip_masters: List[str] = field(default_factory=lambda: ["cpu0", "cpu1"])
+
+    #: DoS heuristic of the master-side firewalls (None disables it).
+    flood_threshold: Optional[int] = None
+    flood_window: int = 100
+
+    #: Reaction thresholds of the security manager.
+    reaction: ReactionPolicy = field(default_factory=ReactionPolicy)
+
+    #: Deterministic seed for key generation.
+    key_seed: int = 0x5EC0_0001
+
+    #: Capacity of each configuration memory (number of rules).
+    config_memory_capacity: int = 16
+
+    #: Provision (encrypt + authenticate) the protected DDR windows at setup.
+    #: The default is False because a freshly built platform has an all-zero
+    #: DDR, which matches the hash tree's initial state: blocks are protected
+    #: lazily on their first write.  Set True when the DDR is pre-loaded with
+    #: an image (e.g. firmware) that must be ciphered before the system runs.
+    provision_external_memory: bool = False
+
+
+def default_policies() -> Dict[str, SecurityPolicy]:
+    """The security policies installed by the default configuration."""
+    return {
+        "internal_full": SecurityPolicy(
+            spi=SPI_INTERNAL_FULL,
+            rwa=ReadWriteAccess.READ_WRITE,
+            allowed_formats=frozenset({1, 2, 4}),
+            max_burst_length=16,
+            description="full read/write access to internal resources",
+        ),
+        "internal_readonly": SecurityPolicy(
+            spi=SPI_INTERNAL_READONLY,
+            rwa=ReadWriteAccess.READ_ONLY,
+            allowed_formats=frozenset({1, 2, 4}),
+            max_burst_length=16,
+            description="read-only window (e.g. shared code in BRAM)",
+        ),
+        "ip_registers": SecurityPolicy(
+            spi=SPI_IP_REGISTERS,
+            rwa=ReadWriteAccess.READ_WRITE,
+            allowed_formats=frozenset({4}),
+            max_burst_length=1,
+            description="word-only, single-beat access to IP registers",
+        ),
+        "ddr_secure": SecurityPolicy(
+            spi=SPI_DDR_SECURE,
+            rwa=ReadWriteAccess.READ_WRITE,
+            allowed_formats=frozenset({1, 2, 4}),
+            confidentiality=ConfidentialityMode.CIPHER,
+            integrity=IntegrityMode.HASH_TREE,
+            key_spi=SPI_DDR_SECURE,
+            max_burst_length=16,
+            description="ciphered and authenticated external-memory window",
+        ),
+        "ddr_cipher_only": SecurityPolicy(
+            spi=SPI_DDR_CIPHER_ONLY,
+            rwa=ReadWriteAccess.READ_WRITE,
+            allowed_formats=frozenset({1, 2, 4}),
+            confidentiality=ConfidentialityMode.CIPHER,
+            integrity=IntegrityMode.BYPASS,
+            key_spi=SPI_DDR_CIPHER_ONLY,
+            max_burst_length=16,
+            description="ciphered-only external-memory window",
+        ),
+        "ddr_plain": SecurityPolicy(
+            spi=SPI_DDR_PLAIN,
+            rwa=ReadWriteAccess.READ_WRITE,
+            allowed_formats=frozenset({1, 2, 4}),
+            max_burst_length=16,
+            description="unprotected external-memory window",
+        ),
+    }
+
+
+class SecuredPlatform:
+    """Handle on a platform with the security enhancements attached."""
+
+    def __init__(
+        self,
+        system: SoCSystem,
+        config: SecurityConfiguration,
+        monitor: SecurityMonitor,
+        manager: SecurityPolicyManager,
+        key_store: KeyStore,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.monitor = monitor
+        self.manager = manager
+        self.key_store = key_store
+        self.master_firewalls: Dict[str, LocalFirewall] = {}
+        self.slave_firewalls: Dict[str, LocalFirewall] = {}
+        self.ciphering_firewall: Optional[LocalCipheringFirewall] = None
+
+    @property
+    def all_firewalls(self) -> List[LocalFirewall]:
+        firewalls: List[LocalFirewall] = list(self.master_firewalls.values())
+        firewalls.extend(self.slave_firewalls.values())
+        if self.ciphering_firewall is not None:
+            firewalls.append(self.ciphering_firewall)
+        return firewalls
+
+    def local_firewall_count(self) -> int:
+        """Number of plain Local Firewalls (excludes the LCF)."""
+        return len(self.master_firewalls) + len(self.slave_firewalls)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view used by reports and the detection experiments."""
+        return {
+            "firewalls": {fw.name: fw.summary() for fw in self.all_firewalls},
+            "alerts": self.monitor.summary(),
+            "reactions": self.manager.summary(),
+        }
+
+
+def secure_platform(
+    system: SoCSystem,
+    config: Optional[SecurityConfiguration] = None,
+) -> SecuredPlatform:
+    """Attach firewalls, policies, keys and the security manager to ``system``."""
+    config = config or SecurityConfiguration()
+    policies = default_policies()
+    sim = system.sim
+    soc_config = system.config
+
+    monitor = SecurityMonitor()
+    key_store = KeyStore()
+    key_store.install(SPI_DDR_SECURE, random_key(config.key_seed))
+    key_store.install(SPI_DDR_CIPHER_ONLY, random_key(config.key_seed + 1))
+    manager = SecurityPolicyManager(sim, monitor, reaction=config.reaction, key_store=key_store)
+    platform = SecuredPlatform(system, config, monitor, manager, key_store)
+
+    bram_base = soc_config.bram_base
+    bram_size = soc_config.bram_size
+    ip_base = soc_config.ip_regs_base
+    ip_size = 4 * soc_config.ip_n_registers
+    ddr_base = soc_config.ddr_base
+    ddr_size = soc_config.ddr_size
+
+    # -- master-side Local Firewalls ---------------------------------------------------
+    if config.protect_masters:
+        for master_name, port in system.master_ports.items():
+            memory = ConfigurationMemory(
+                f"cfg_{master_name}", capacity=config.config_memory_capacity
+            )
+            memory.add(bram_base, bram_size, policies["internal_full"], label="bram")
+            memory.add(ddr_base, ddr_size, policies["internal_full"], label="ddr")
+            if master_name in config.ip_masters:
+                memory.add(ip_base, ip_size, policies["ip_registers"], label="ip0_regs")
+            # Masters not listed in ip_masters simply have no rule covering the
+            # IP registers: default-deny keeps them out.
+            firewall = LocalFirewall(
+                sim,
+                f"lf_{master_name}",
+                memory,
+                monitor=monitor,
+                protected_ip=master_name,
+                flood_threshold=config.flood_threshold,
+                flood_window=config.flood_window,
+            )
+            port.attach_filter(firewall)
+            platform.master_firewalls[master_name] = firewall
+            manager.register_firewall(firewall, guards_master=master_name)
+
+    # -- internal slave-side Local Firewalls ----------------------------------------------
+    if config.protect_internal_slaves:
+        slave_rules = {
+            "bram": (bram_base, bram_size, policies["internal_full"]),
+            "ip0": (ip_base, ip_size, policies["ip_registers"]),
+        }
+        for slave_name, (base, size, policy) in slave_rules.items():
+            port = system.slave_ports.get(slave_name)
+            if port is None:
+                continue
+            memory = ConfigurationMemory(
+                f"cfg_{slave_name}", capacity=config.config_memory_capacity
+            )
+            memory.add(base, size, policy, label=slave_name)
+            firewall = LocalFirewall(
+                sim,
+                f"lf_{slave_name}",
+                memory,
+                monitor=monitor,
+                protected_ip=slave_name,
+            )
+            port.attach_filter(firewall)
+            platform.slave_firewalls[slave_name] = firewall
+            manager.register_firewall(firewall)
+
+    # -- Local Ciphering Firewall on the external memory ------------------------------------
+    if config.protect_external_memory:
+        secure_size = min(config.ddr_secure_size, ddr_size)
+        cipher_only_size = min(config.ddr_cipher_only_size, ddr_size - secure_size)
+        plain_base = ddr_base + secure_size + cipher_only_size
+        plain_size = ddr_size - secure_size - cipher_only_size
+
+        memory = ConfigurationMemory("cfg_ddr", capacity=config.config_memory_capacity)
+        if secure_size > 0:
+            memory.add(ddr_base, secure_size, policies["ddr_secure"], label="ddr_secure")
+        if cipher_only_size > 0:
+            memory.add(
+                ddr_base + secure_size,
+                cipher_only_size,
+                policies["ddr_cipher_only"],
+                label="ddr_cipher_only",
+            )
+        if plain_size > 0:
+            memory.add(plain_base, plain_size, policies["ddr_plain"], label="ddr_plain")
+
+        lcf = LocalCipheringFirewall(
+            sim,
+            "lcf_ddr",
+            memory,
+            device=system.ddr,
+            key_store=key_store,
+            monitor=monitor,
+            protected_ip="ddr",
+        )
+        system.slave_ports["ddr"].attach_filter(lcf)
+        platform.ciphering_firewall = lcf
+        manager.register_firewall(lcf)
+        if config.provision_external_memory:
+            lcf.protect_existing_contents()
+
+    # Keys are provisioned; lock the store for the rest of the run.
+    key_store.lock()
+    return platform

@@ -1,0 +1,165 @@
+"""Thread-specific security levels (the paper's final perspective).
+
+The conclusion of the paper suggests: "it can be interesting to study the
+adaptation to thread-specific security where each thread has its own security
+level".  This module implements that extension on top of the address-based
+policies:
+
+* a :class:`ThreadSecurityDirectory` assigns a *clearance level* to each
+  software thread (threads are identified by the ``thread_id`` annotation the
+  processor model attaches to its transactions),
+* a :class:`ThreadAwareLocalFirewall` is a Local Firewall whose rules can
+  additionally require a minimum clearance; an access whose issuing thread is
+  below the required level is discarded exactly like any other violation,
+  even if the address-based policy would have allowed it.
+
+The extension is purely additive: a firewall with no clearance requirements,
+or transactions without a ``thread_id``, behave exactly like the base design
+(unknown threads get the directory's default clearance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.alerts import ViolationType
+from repro.core.local_firewall import LocalFirewall
+from repro.core.policy import ConfigurationMemory
+from repro.soc.kernel import Simulator
+from repro.soc.ports import FilterResult
+from repro.soc.transaction import BusTransaction
+
+__all__ = ["ThreadSecurityDirectory", "ThreadAwareLocalFirewall", "THREAD_ID_ANNOTATION"]
+
+#: Annotation key carrying the issuing thread on a transaction.
+THREAD_ID_ANNOTATION = "thread_id"
+
+
+class ThreadSecurityDirectory:
+    """Trusted table mapping thread identifiers to clearance levels.
+
+    Levels are small non-negative integers; higher means more privileged.
+    The directory is deliberately tiny (it would live next to the
+    Configuration Memories in on-chip memory) and supports runtime updates so
+    the security manager can demote a misbehaving thread without touching the
+    address-based rules.
+    """
+
+    def __init__(self, default_clearance: int = 0) -> None:
+        if default_clearance < 0:
+            raise ValueError("clearance levels must be non-negative")
+        self.default_clearance = default_clearance
+        self._levels: Dict[int, int] = {}
+        self.updates = 0
+
+    def set_clearance(self, thread_id: int, level: int) -> None:
+        """Assign (or update) a thread's clearance level."""
+        if level < 0:
+            raise ValueError("clearance levels must be non-negative")
+        self._levels[thread_id] = level
+        self.updates += 1
+
+    def clearance(self, thread_id: Optional[int]) -> int:
+        """Clearance of a thread; unknown or missing threads get the default."""
+        if thread_id is None:
+            return self.default_clearance
+        return self._levels.get(thread_id, self.default_clearance)
+
+    def revoke(self, thread_id: int) -> bool:
+        """Drop a thread back to the default clearance."""
+        if thread_id in self._levels:
+            del self._levels[thread_id]
+            self.updates += 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+
+class ThreadAwareLocalFirewall(LocalFirewall):
+    """Local Firewall enforcing per-thread clearance on top of address rules.
+
+    ``clearance_requirements`` maps a rule's base address to the minimum
+    clearance a thread needs for *any* access to that rule's window;
+    ``write_clearance_requirements`` optionally raises the bar for writes only
+    (a common pattern: many threads may read a shared table, only the manager
+    thread may update it).
+    """
+
+    name = "thread_aware_local_firewall"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config_memory: ConfigurationMemory,
+        directory: ThreadSecurityDirectory,
+        clearance_requirements: Optional[Dict[int, int]] = None,
+        write_clearance_requirements: Optional[Dict[int, int]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, name, config_memory, **kwargs)
+        self.directory = directory
+        self.clearance_requirements = dict(clearance_requirements or {})
+        self.write_clearance_requirements = dict(write_clearance_requirements or {})
+        self.thread_denials = 0
+
+    def require_clearance(self, rule_base: int, level: int, writes_only: bool = False) -> None:
+        """Add or tighten a clearance requirement at runtime."""
+        target = self.write_clearance_requirements if writes_only else self.clearance_requirements
+        target[rule_base] = level
+
+    def _required_level(self, txn: BusTransaction) -> Optional[int]:
+        rule = self.config_memory.rule_for(txn.address, txn.size)
+        if rule is None:
+            return None
+        required = self.clearance_requirements.get(rule.base)
+        if txn.is_write:
+            write_required = self.write_clearance_requirements.get(rule.base)
+            if write_required is not None:
+                required = max(required or 0, write_required)
+        return required
+
+    def filter_request(self, txn: BusTransaction) -> FilterResult:
+        base_result = super().filter_request(txn)
+        if not base_result.allowed:
+            return base_result
+
+        required = self._required_level(txn)
+        if required is None:
+            return base_result
+
+        thread_id = txn.annotations.get(THREAD_ID_ANNOTATION)
+        clearance = self.directory.clearance(thread_id)
+        if clearance >= required:
+            txn.annotations[f"{self.name}.clearance"] = clearance
+            return base_result
+
+        self.thread_denials += 1
+        violation = (
+            ViolationType.UNAUTHORIZED_WRITE if txn.is_write else ViolationType.UNAUTHORIZED_READ
+        )
+        self._raise(
+            txn,
+            violation,
+            detail=(
+                f"thread {thread_id!r} clearance {clearance} below required "
+                f"level {required}"
+            ),
+        )
+        self.firewall_interface.gate(False)
+        return FilterResult.deny(
+            reason=f"{self.name}: insufficient thread clearance",
+            latency=base_result.latency,
+            stage="security_builder",
+        )
+
+    def summary(self) -> dict:
+        data = super().summary()
+        data["thread_denials"] = self.thread_denials
+        data["clearance_rules"] = len(self.clearance_requirements) + len(
+            self.write_clearance_requirements
+        )
+        return data

@@ -1,0 +1,289 @@
+"""AES-128 block cipher.
+
+The Local Ciphering Firewall's Confidentiality Core is "based on a AES
+(Advanced Encryption Standard) algorithm with 128-bits key" (paper, section
+IV-B2).  This module implements the FIPS-197 cipher for 128-bit keys from
+scratch: S-box construction from the finite-field inverse, key expansion, the
+four round transformations and their inverses.
+
+The implementation favours clarity over raw speed (the guides' "make it work,
+make it right" rule); the hot path used by the simulator encrypts 16-byte
+blocks, which is plenty fast in pure Python for the workloads exercised here.
+Throughput of the *hardware* core is modelled separately in
+:mod:`repro.metrics.latency`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["AES128", "SBOX", "INV_SBOX", "xtime", "gmul"]
+
+
+# ---------------------------------------------------------------------------
+# GF(2^8) arithmetic
+# ---------------------------------------------------------------------------
+
+_AES_MODULUS = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def xtime(a: int) -> int:
+    """Multiply ``a`` by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= _AES_MODULUS
+    return a & 0xFF
+
+
+def gmul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result & 0xFF
+
+
+def _ginv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inverse of 0 is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) == a^254 is the inverse in GF(2^8).
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gmul(result, base)
+        base = gmul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Construct the AES S-box and its inverse from first principles.
+
+    The S-box maps ``a`` to an affine transformation of the multiplicative
+    inverse of ``a``:  b_i = inv_i XOR inv_{i+4} XOR inv_{i+5} XOR inv_{i+6}
+    XOR inv_{i+7} XOR c_i with c = 0x63.
+    """
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = _ginv(value)
+        transformed = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= b << bit
+        sbox[value] = transformed
+        inv_sbox[transformed] = value
+    return tuple(sbox), tuple(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# Round constants for key expansion: rcon[i] = x^(i-1) in GF(2^8).
+_RCON = [0x01]
+for _ in range(9):
+    _RCON.append(xtime(_RCON[-1]))
+
+# Precomputed GF(2^8) multiplication tables for the MixColumns coefficients.
+# They keep the per-block cost low enough for whole-memory-region experiments
+# while the reference gmul() implementation above stays available for tests.
+_MUL2 = tuple(gmul(x, 2) for x in range(256))
+_MUL3 = tuple(gmul(x, 3) for x in range(256))
+_MUL9 = tuple(gmul(x, 9) for x in range(256))
+_MUL11 = tuple(gmul(x, 11) for x in range(256))
+_MUL13 = tuple(gmul(x, 13) for x in range(256))
+_MUL14 = tuple(gmul(x, 14) for x in range(256))
+
+
+class AES128:
+    """AES with a 128-bit key (10 rounds), operating on 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        Exactly 16 bytes of key material.
+
+    Examples
+    --------
+    >>> cipher = AES128(bytes(range(16)))
+    >>> block = b"attack at dawn!!"
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    BLOCK_SIZE = 16
+    KEY_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"key must be bytes, got {type(key).__name__}")
+        if len(key) != self.KEY_SIZE:
+            raise ValueError(
+                f"AES-128 requires a {self.KEY_SIZE}-byte key, got {len(key)} bytes"
+            )
+        self._key = bytes(key)
+        self._round_keys = self._expand_key(self._key)
+
+    # -- key schedule -------------------------------------------------------
+
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Expand the cipher key into 11 round keys of 16 bytes each.
+
+        Returns a list of 44 four-byte words (as lists of ints); round key
+        ``r`` is words ``4r .. 4r+3``.
+        """
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                # RotWord then SubWord then XOR with round constant.
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        return words
+
+    def round_key(self, round_index: int) -> bytes:
+        """Return the 16-byte round key for round ``round_index`` (0..10)."""
+        if not 0 <= round_index <= self.ROUNDS:
+            raise ValueError(f"round index out of range: {round_index}")
+        words = self._round_keys[4 * round_index : 4 * round_index + 4]
+        return bytes(b for word in words for b in word)
+
+    # -- state helpers ------------------------------------------------------
+    #
+    # The state is kept as a flat list of 16 bytes in column-major order
+    # (FIPS-197 layout): state[row + 4*col].
+
+    @staticmethod
+    def _bytes_to_state(block: bytes) -> List[int]:
+        return list(block)
+
+    @staticmethod
+    def _state_to_bytes(state: Sequence[int]) -> bytes:
+        return bytes(state)
+
+    def _add_round_key(self, state: List[int], round_index: int) -> None:
+        key = self.round_key(round_index)
+        for i in range(16):
+            state[i] ^= key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # Row r (elements state[r], state[r+4], state[r+8], state[r+12]) is
+        # rotated left by r positions.
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            rotated = column_values[row:] + column_values[:row]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            rotated = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _mix_single_column(column: List[int]) -> List[int]:
+        a0, a1, a2, a3 = column
+        return [
+            _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3,
+            a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3,
+            a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3],
+            _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3],
+        ]
+
+    @staticmethod
+    def _inv_mix_single_column(column: List[int]) -> List[int]:
+        a0, a1, a2, a3 = column
+        return [
+            _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3],
+            _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3],
+            _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3],
+            _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3],
+        ]
+
+    @classmethod
+    def _mix_columns(cls, state: List[int]) -> None:
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            state[4 * col : 4 * col + 4] = cls._mix_single_column(column)
+
+    @classmethod
+    def _inv_mix_columns(cls, state: List[int]) -> None:
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            state[4 * col : 4 * col + 4] = cls._inv_mix_single_column(column)
+
+    # -- public block API ----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
+            )
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, 0)
+        for round_index in range(1, self.ROUNDS):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, round_index)
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self.ROUNDS)
+        return self._state_to_bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
+            )
+        state = self._bytes_to_state(block)
+        self._add_round_key(state, self.ROUNDS)
+        for round_index in range(self.ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, round_index)
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, 0)
+        return self._state_to_bytes(state)
+
+    @property
+    def key(self) -> bytes:
+        """The raw 16-byte cipher key."""
+        return self._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AES128(key=<{len(self._key)} bytes>)"

@@ -1,0 +1,245 @@
+"""Calibrated FPGA area model regenerating Table I.
+
+The paper synthesised its platform with XST for a Virtex-6 XC6VLX240T and
+reported, in Table I, the area of the system without and with firewalls plus
+the per-component breakdown of the Local Ciphering Firewall (Security
+Builder, Confidentiality Core, Integrity Core) and of a plain Local Firewall.
+
+A Python reproduction cannot run synthesis, so this module provides a
+*component cost model* built from the paper's own breakdown:
+
+* the baseline platform cost and the per-component costs are the paper's
+  numbers verbatim (:data:`PAPER_TABLE1`),
+* the protected platform is baseline + N x LF + LCF + integration overhead,
+  where the integration overhead (bus adapters, extra interconnect logic that
+  the paper's totals contain but its per-component rows do not) is calibrated
+  as the residual of the paper's own numbers for the reference configuration
+  (5 Local Firewalls + 1 LCF),
+* the dependence of firewall cost on the *number of security rules* — which
+  the paper only discusses qualitatively ("a more aggressive security policy
+  will lead to a larger cost ... this point will be further analyzed in future
+  work") — is modelled as a documented linear increment per elementary rule,
+  used by the E4 ablation benchmark.
+
+Because the model is calibrated on the reference configuration, the Table I
+benchmark reproduces the paper's totals exactly for that configuration and
+extrapolates for any other platform (more processors, more rules, no
+integrity core, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Optional
+
+from repro.metrics.resources import ResourceVector
+
+__all__ = ["PAPER_TABLE1", "AreaModel", "Table1Row", "generate_table1"]
+
+
+#: Paper Table I, verbatim (XC6VLX240T synthesis results).
+PAPER_TABLE1: Dict[str, ResourceVector] = {
+    "generic_without_firewalls": ResourceVector(12895, 11474, 15473, 53),
+    "generic_with_firewalls": ResourceVector(15833, 19554, 21530, 63),
+    "lcf_security_builder": ResourceVector(0, 393, 393, 0),
+    "lcf_confidentiality_core": ResourceVector(436, 986, 344, 10),
+    "lcf_integrity_core": ResourceVector(1224, 1404, 1704, 0),
+    "local_firewall": ResourceVector(8, 403, 403, 0),
+}
+
+#: Relative overheads the paper prints under the "with firewalls" row.
+PAPER_TABLE1_OVERHEADS_PERCENT: Dict[str, float] = {
+    "slice_registers": 13.43,
+    "slice_luts": 34.40,
+    "lut_ff_pairs": 26.50,
+    "brams": 18.87,
+}
+
+#: Number of plain Local Firewalls in the paper's reference platform
+#: (3 MicroBlaze + 1 internal shared memory + 1 dedicated IP).
+PAPER_REFERENCE_LF_COUNT = 5
+
+#: Elementary rules per Local Firewall assumed for the reference calibration
+#: (RWA + three ADF comparators + burst bound for a single policy, times a
+#: couple of address windows).
+REFERENCE_RULES_PER_LF = 8
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the regenerated Table I."""
+
+    label: str
+    resources: ResourceVector
+    overhead_percent: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class AreaModel:
+    """Component-cost model for the distributed security architecture."""
+
+    baseline: ResourceVector = PAPER_TABLE1["generic_without_firewalls"]
+    local_firewall_base: ResourceVector = PAPER_TABLE1["local_firewall"]
+    lcf_security_builder: ResourceVector = PAPER_TABLE1["lcf_security_builder"]
+    lcf_confidentiality_core: ResourceVector = PAPER_TABLE1["lcf_confidentiality_core"]
+    lcf_integrity_core: ResourceVector = PAPER_TABLE1["lcf_integrity_core"]
+
+    #: Incremental cost of one additional elementary security rule beyond the
+    #: reference count (model assumption, documented in EXPERIMENTS.md).
+    per_rule_increment: ResourceVector = ResourceVector(2.0, 12.0, 10.0, 0.0)
+    #: Rules per extra BRAM once a configuration memory outgrows distributed RAM.
+    rules_per_bram: int = 64
+    reference_rules_per_firewall: int = REFERENCE_RULES_PER_LF
+
+    #: Per-firewall integration overhead (bus adapters / interconnect growth).
+    #: Calibrated in __post_init__ as the residual of the paper's totals.
+    integration_overhead_per_firewall: ResourceVector = field(default=None)  # type: ignore[assignment]
+    reference_lf_count: int = PAPER_REFERENCE_LF_COUNT
+
+    def __post_init__(self) -> None:
+        if self.integration_overhead_per_firewall is None:
+            delta = PAPER_TABLE1["generic_with_firewalls"] - self.baseline
+            components = (
+                self.local_firewall_base.scale(self.reference_lf_count)
+                + self.lcf_security_builder
+                + self.lcf_confidentiality_core
+                + self.lcf_integrity_core
+            )
+            residual = delta - components
+            n_firewalls = self.reference_lf_count + 1  # + the LCF
+            self.integration_overhead_per_firewall = residual.scale(1.0 / n_firewalls)
+
+    # -- per-component areas -----------------------------------------------------------
+
+    def _rule_overhead(self, n_rules: int) -> ResourceVector:
+        """Cost of the rules beyond the calibrated reference count."""
+        extra = max(0, n_rules - self.reference_rules_per_firewall)
+        vector = self.per_rule_increment.scale(extra)
+        extra_brams = ceil(extra / self.rules_per_bram) if extra > 0 else 0
+        return ResourceVector(
+            vector.slice_registers, vector.slice_luts, vector.lut_ff_pairs, extra_brams
+        )
+
+    def local_firewall_area(self, n_rules: Optional[int] = None, include_integration: bool = False) -> ResourceVector:
+        """Area of one Local Firewall monitoring ``n_rules`` elementary rules."""
+        rules = self.reference_rules_per_firewall if n_rules is None else n_rules
+        area = self.local_firewall_base + self._rule_overhead(rules)
+        if include_integration:
+            area = area + self.integration_overhead_per_firewall
+        return area
+
+    def ciphering_firewall_area(
+        self,
+        n_rules: Optional[int] = None,
+        with_confidentiality: bool = True,
+        with_integrity: bool = True,
+        include_integration: bool = False,
+    ) -> ResourceVector:
+        """Area of the Local Ciphering Firewall (SB + optional CC + optional IC)."""
+        rules = self.reference_rules_per_firewall if n_rules is None else n_rules
+        area = self.lcf_security_builder + self._rule_overhead(rules)
+        if with_confidentiality:
+            area = area + self.lcf_confidentiality_core
+        if with_integrity:
+            area = area + self.lcf_integrity_core
+        if include_integration:
+            area = area + self.integration_overhead_per_firewall
+        return area
+
+    # -- platform-level areas ---------------------------------------------------------------
+
+    def platform_without_firewalls(self) -> ResourceVector:
+        """The unprotected baseline platform."""
+        return self.baseline
+
+    def platform_with_firewalls(
+        self,
+        n_local_firewalls: int = PAPER_REFERENCE_LF_COUNT,
+        rules_per_local_firewall: Optional[int] = None,
+        lcf_rules: Optional[int] = None,
+        with_confidentiality: bool = True,
+        with_integrity: bool = True,
+    ) -> ResourceVector:
+        """Area of the protected platform."""
+        if n_local_firewalls < 0:
+            raise ValueError("n_local_firewalls must be non-negative")
+        total = self.baseline
+        for _ in range(n_local_firewalls):
+            total = total + self.local_firewall_area(rules_per_local_firewall)
+        total = total + self.ciphering_firewall_area(
+            lcf_rules, with_confidentiality=with_confidentiality, with_integrity=with_integrity
+        )
+        n_firewalls = n_local_firewalls + 1
+        total = total + self.integration_overhead_per_firewall.scale(n_firewalls)
+        return total
+
+    def platform_area_from_secured(self, secured) -> ResourceVector:
+        """Area of an actual :class:`~repro.core.secure.SecuredPlatform`.
+
+        Counts the firewalls that were really attached and the rules each one
+        monitors, so the model follows configuration changes (more CPUs,
+        fewer rules, integrity disabled, ...).
+        """
+        total = self.baseline
+        n_firewalls = 0
+        for firewall in list(secured.master_firewalls.values()) + list(secured.slave_firewalls.values()):
+            total = total + self.local_firewall_area(firewall.config_memory.total_rule_count())
+            n_firewalls += 1
+        lcf = secured.ciphering_firewall
+        if lcf is not None:
+            has_cipher = any(r.rule.policy.needs_ciphering for r in lcf.protected_regions)
+            has_integrity = any(r.rule.policy.needs_integrity for r in lcf.protected_regions)
+            total = total + self.ciphering_firewall_area(
+                lcf.config_memory.total_rule_count(),
+                with_confidentiality=has_cipher,
+                with_integrity=has_integrity,
+            )
+            n_firewalls += 1
+        total = total + self.integration_overhead_per_firewall.scale(n_firewalls)
+        return total
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def lcf_component_share(self) -> float:
+        """Fraction of the LCF area taken by the crypto cores (CC + IC).
+
+        The paper highlights that "about 90% of Local Ciphering Firewall area"
+        is the confidentiality and integrity cores; this method lets tests and
+        reports check the model preserves that property (measured on LUTs +
+        registers, the columns that dominate logic area).
+        """
+        crypto = self.lcf_confidentiality_core + self.lcf_integrity_core
+        total = self.ciphering_firewall_area()
+        crypto_logic = crypto.slice_registers + crypto.slice_luts
+        total_logic = total.slice_registers + total.slice_luts
+        return crypto_logic / total_logic if total_logic else 0.0
+
+
+def generate_table1(
+    model: Optional[AreaModel] = None,
+    n_local_firewalls: int = PAPER_REFERENCE_LF_COUNT,
+    rules_per_local_firewall: Optional[int] = None,
+) -> List[Table1Row]:
+    """Regenerate Table I: baseline, protected platform, component breakdown."""
+    model = model or AreaModel()
+    baseline = model.platform_without_firewalls()
+    protected = model.platform_with_firewalls(
+        n_local_firewalls=n_local_firewalls,
+        rules_per_local_firewall=rules_per_local_firewall,
+    )
+    overhead = {
+        name: 100.0 * value
+        for name, value in protected.overhead_vs(baseline).items()
+    }
+    return [
+        Table1Row("Generic w/o firewalls", baseline.rounded()),
+        Table1Row("Generic w/ firewalls", protected.rounded(), overhead_percent=overhead),
+        Table1Row("Local Ciphering Firewall: SB", model.lcf_security_builder.rounded()),
+        Table1Row("Local Ciphering Firewall: CC", model.lcf_confidentiality_core.rounded()),
+        Table1Row("Local Ciphering Firewall: IC", model.lcf_integrity_core.rounded()),
+        Table1Row(
+            "Local Firewall",
+            model.local_firewall_area(rules_per_local_firewall).rounded(),
+        ),
+    ]

@@ -1,0 +1,131 @@
+"""Execution-time overhead of the security enhancements.
+
+Section V of the paper discusses (without a table) how the protection
+mechanisms impact global execution time: "the impact of the protection
+mechanisms on the global execution time depends on the percentage of
+computation time versus communication time.  Furthermore the latency overhead
+is also impacted by the percentage of internal communication versus external
+communication."
+
+This module turns that discussion into a measurable experiment: run the same
+workload on the unprotected and on the protected platform and compare
+makespans.  The comm-ratio / external-share sweeps of the E5 benchmark are
+thin wrappers around :func:`measure_execution_overhead`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.secure import SecuredPlatform, SecurityConfiguration, secure_platform
+from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
+from repro.soc.processor import ProcessorProgram
+
+__all__ = ["WorkloadRunResult", "OverheadResult", "run_workload", "measure_execution_overhead"]
+
+
+@dataclass
+class WorkloadRunResult:
+    """Outcome of one workload run on one platform variant."""
+
+    protected: bool
+    makespan_cycles: int
+    per_cpu_cycles: Dict[str, int]
+    total_transactions: int
+    blocked_transactions: int
+    security_cycles: int
+    communication_cycles: int
+    computation_cycles: int
+
+    @property
+    def communication_share(self) -> float:
+        """Fraction of CPU time spent waiting on the bus."""
+        total = self.communication_cycles + self.computation_cycles
+        return self.communication_cycles / total if total else 0.0
+
+
+@dataclass
+class OverheadResult:
+    """Protected-vs-unprotected comparison for one workload."""
+
+    baseline: WorkloadRunResult
+    protected: WorkloadRunResult
+
+    @property
+    def slowdown(self) -> float:
+        """Protected makespan divided by baseline makespan (>= 1.0 normally)."""
+        if self.baseline.makespan_cycles == 0:
+            return 1.0
+        return self.protected.makespan_cycles / self.baseline.makespan_cycles
+
+    @property
+    def overhead_percent(self) -> float:
+        """Relative execution-time overhead in percent."""
+        return (self.slowdown - 1.0) * 100.0
+
+    @property
+    def security_cycle_share(self) -> float:
+        """Fraction of the protected makespan attributable to security modules.
+
+        Computed against the sum of per-CPU busy time rather than the makespan
+        so overlapping processors do not distort the share.
+        """
+        busy = sum(self.protected.per_cpu_cycles.values())
+        return self.protected.security_cycles / busy if busy else 0.0
+
+
+def run_workload(
+    programs: Dict[str, ProcessorProgram],
+    protected: bool,
+    soc_config: Optional[SoCConfig] = None,
+    security_config: Optional[SecurityConfiguration] = None,
+    max_events: Optional[int] = None,
+) -> WorkloadRunResult:
+    """Build a fresh platform, load ``programs`` and run to completion."""
+    system = build_reference_platform(soc_config)
+    security: Optional[SecuredPlatform] = None
+    if protected:
+        security = secure_platform(system, security_config or SecurityConfiguration())
+
+    system.load_programs(programs)
+    system.start_all()
+    system.run(max_events=max_events)
+
+    per_cpu = {
+        name: (cpu.execution_cycles or 0) for name, cpu in system.processors.items()
+    }
+    transactions = [t for cpu in system.processors.values() for t in cpu.transactions]
+    blocked = sum(1 for t in transactions if t.status.is_blocked)
+    security_cycles = sum(t.security_latency for t in transactions)
+    communication = sum(cpu.communication_cycles() for cpu in system.processors.values())
+    computation = sum(cpu.computation_cycles() for cpu in system.processors.values())
+
+    return WorkloadRunResult(
+        protected=protected,
+        makespan_cycles=system.execution_cycles(),
+        per_cpu_cycles=per_cpu,
+        total_transactions=len(transactions),
+        blocked_transactions=blocked,
+        security_cycles=security_cycles,
+        communication_cycles=communication,
+        computation_cycles=computation,
+    )
+
+
+def measure_execution_overhead(
+    programs: Dict[str, ProcessorProgram],
+    soc_config: Optional[SoCConfig] = None,
+    security_config: Optional[SecurityConfiguration] = None,
+) -> OverheadResult:
+    """Run ``programs`` on both platform variants and compare makespans.
+
+    The same program objects are reused for both runs; they carry no mutable
+    state besides what the Processor tracks per run (each run constructs new
+    Processor instances), so the comparison is apples-to-apples.
+    """
+    baseline = run_workload(programs, protected=False, soc_config=soc_config)
+    protected = run_workload(
+        programs, protected=True, soc_config=soc_config, security_config=security_config
+    )
+    return OverheadResult(baseline=baseline, protected=protected)

@@ -1,0 +1,83 @@
+"""Behavioural MPSoC simulator substrate.
+
+The paper evaluates its distributed firewalls on a Xilinx ML605 platform with
+three MicroBlaze soft cores, an on-chip BRAM, an external DDR memory and one
+dedicated IP, all attached to a shared system bus.  This package provides a
+transaction-level, cycle-accounted behavioural model of that platform:
+
+* :mod:`repro.soc.kernel` -- discrete-event simulation engine and component
+  base class,
+* :mod:`repro.soc.transaction` -- bus transactions (reads/writes, widths,
+  bursts, lifecycle states),
+* :mod:`repro.soc.address_map` -- the platform memory map and address
+  decoding,
+* :mod:`repro.soc.ports` -- master/slave ports and the transaction-filter
+  interface through which the security firewalls are interposed,
+* :mod:`repro.soc.bus` -- the shared system bus with pluggable arbitration,
+* :mod:`repro.soc.memory` -- BRAM and external-DDR memory models,
+* :mod:`repro.soc.processor` -- MicroBlaze-like programmable bus masters,
+* :mod:`repro.soc.ip` -- dedicated IP models (DMA engine, register-file slave),
+* :mod:`repro.soc.system` -- declarative construction of the Figure-1 platform.
+
+The substrate is deliberately independent of :mod:`repro.core`; the security
+layer plugs in through the generic filter interface so that exactly the same
+platform can be simulated with and without protection (which is how Table I's
+"without firewalls" baseline is produced).
+"""
+
+from repro.soc.kernel import Simulator, Component, Event
+from repro.soc.transaction import (
+    BusOperation,
+    BusTransaction,
+    TransactionStatus,
+)
+from repro.soc.address_map import AddressMap, AddressRegion, DecodeError
+from repro.soc.ports import (
+    FilterAction,
+    FilterResult,
+    MasterPort,
+    SlavePort,
+    TransactionFilter,
+)
+from repro.soc.bus import (
+    BusMonitor,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    SystemBus,
+)
+from repro.soc.memory import BlockRAM, ExternalDDR, MemoryDevice
+from repro.soc.processor import MemoryOperation, Processor, ProcessorProgram
+from repro.soc.ip import DMAEngine, RegisterFileIP
+from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
+
+__all__ = [
+    "Simulator",
+    "Component",
+    "Event",
+    "BusOperation",
+    "BusTransaction",
+    "TransactionStatus",
+    "AddressMap",
+    "AddressRegion",
+    "DecodeError",
+    "FilterAction",
+    "FilterResult",
+    "MasterPort",
+    "SlavePort",
+    "TransactionFilter",
+    "SystemBus",
+    "RoundRobinArbiter",
+    "FixedPriorityArbiter",
+    "BusMonitor",
+    "MemoryDevice",
+    "BlockRAM",
+    "ExternalDDR",
+    "Processor",
+    "ProcessorProgram",
+    "MemoryOperation",
+    "DMAEngine",
+    "RegisterFileIP",
+    "SoCConfig",
+    "SoCSystem",
+    "build_reference_platform",
+]

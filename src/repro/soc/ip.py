@@ -1,0 +1,211 @@
+"""Dedicated IP models.
+
+The reference platform contains "one dedicated IP" besides the processors.
+Two concrete models are provided:
+
+* :class:`RegisterFileIP` -- a slave IP exposing a small register bank (for
+  instance a crypto accelerator's control/status/key registers).  Some
+  registers can be declared *sensitive*; direct reads of those by
+  unauthorised masters are exactly what the Local Firewalls must block.
+* :class:`DMAEngine` -- a master IP that copies a region from a source to a
+  destination address once kicked off.  A hijacked DMA engine is the classic
+  example of an infected IP trying to exfiltrate internal data to external
+  memory, which the attack framework reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.soc.kernel import Component, Simulator
+from repro.soc.ports import MasterPort
+from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
+
+__all__ = ["RegisterFileIP", "DMAEngine"]
+
+
+class RegisterFileIP(Component):
+    """Slave IP exposing a word-addressed register bank.
+
+    Registers are 4 bytes wide.  The device tracks reads of registers marked
+    sensitive so experiments can tell whether secret material leaked.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        base: int,
+        n_registers: int = 16,
+        access_latency: int = 2,
+        sensitive_registers: Optional[List[int]] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        if n_registers <= 0:
+            raise ValueError("n_registers must be positive")
+        self.base = base
+        self.n_registers = n_registers
+        self.size = 4 * n_registers
+        self.access_latency_cycles = access_latency
+        self.sensitive_registers = set(sensitive_registers or [])
+        self._registers = [0] * n_registers
+        self.sensitive_reads: List[Tuple[str, int]] = []
+
+    # -- direct (untimed) register access -------------------------------------------
+
+    def read_register(self, index: int) -> int:
+        self._check_index(index)
+        return self._registers[index]
+
+    def write_register(self, index: int, value: int) -> None:
+        self._check_index(index)
+        self._registers[index] = value & 0xFFFFFFFF
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_registers:
+            raise IndexError(f"register index {index} out of range")
+
+    def _register_of_address(self, address: int) -> int:
+        offset = address - self.base
+        if offset < 0 or offset >= self.size:
+            raise ValueError(f"address {address:#x} outside {self.name}")
+        return offset // 4
+
+    # -- timed access from the slave port ----------------------------------------------
+
+    def access(self, txn: BusTransaction) -> Tuple[int, Optional[bytes]]:
+        """Serve a bus access; returns (latency, data-or-None)."""
+        first = self._register_of_address(txn.address)
+        n_words = max(1, (txn.size + 3) // 4)
+        if txn.is_write:
+            assert txn.data is not None
+            for i in range(n_words):
+                index = first + i
+                if index < self.n_registers:
+                    word = txn.data[4 * i : 4 * i + 4].ljust(4, b"\x00")
+                    self._registers[index] = int.from_bytes(word, "little")
+            self.bump("register_writes", n_words)
+            return self.access_latency_cycles, None
+
+        out = bytearray()
+        for i in range(n_words):
+            index = first + i
+            value = self._registers[index] if index < self.n_registers else 0
+            out += value.to_bytes(4, "little")
+            if index in self.sensitive_registers:
+                self.sensitive_reads.append((txn.master, index))
+                self.bump("sensitive_register_reads")
+        self.bump("register_reads", n_words)
+        return self.access_latency_cycles, bytes(out[: txn.size])
+
+
+class DMAEngine(Component):
+    """Master IP performing block copies over the bus.
+
+    Once :meth:`kickoff` is called the engine alternates burst reads from the
+    source region and burst writes to the destination region until ``length``
+    bytes have been copied, then invokes its completion callback.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        port: MasterPort,
+        burst_bytes: int = 16,
+    ) -> None:
+        super().__init__(sim, name)
+        if burst_bytes <= 0 or burst_bytes % 4 != 0:
+            raise ValueError("burst_bytes must be a positive multiple of 4")
+        self.port = port
+        self.burst_bytes = burst_bytes
+        self.active = False
+        self.bytes_copied = 0
+        self.blocked = False
+        self._src = 0
+        self._dst = 0
+        self._remaining = 0
+        self._on_done: Optional[Callable[["DMAEngine"], None]] = None
+
+    def kickoff(
+        self,
+        source: int,
+        destination: int,
+        length: int,
+        on_done: Optional[Callable[["DMAEngine"], None]] = None,
+    ) -> None:
+        """Start copying ``length`` bytes from ``source`` to ``destination``."""
+        if self.active:
+            raise RuntimeError(f"{self.name} is already active")
+        if length <= 0:
+            raise ValueError("length must be positive")
+        self.active = True
+        self.blocked = False
+        self.bytes_copied = 0
+        self._src = source
+        self._dst = destination
+        self._remaining = length
+        self._on_done = on_done
+        self.bump("transfers_started")
+        self.sim.schedule(0, self._issue_read)
+
+    # -- copy loop -------------------------------------------------------------------
+
+    def _chunk(self) -> int:
+        return min(self.burst_bytes, self._remaining)
+
+    def _issue_read(self) -> None:
+        if self._remaining <= 0:
+            self._finish()
+            return
+        chunk = self._chunk()
+        txn = BusTransaction(
+            master=self.name,
+            operation=BusOperation.READ,
+            address=self._src,
+            width=4,
+            burst_length=max(1, chunk // 4),
+        )
+        self.port.issue(txn, self._on_read_done)
+
+    def _on_read_done(self, txn: BusTransaction) -> None:
+        if txn.status is not TransactionStatus.COMPLETED or txn.data is None:
+            self._abort(txn)
+            return
+        chunk = self._chunk()
+        write = BusTransaction(
+            master=self.name,
+            operation=BusOperation.WRITE,
+            address=self._dst,
+            width=4,
+            burst_length=max(1, chunk // 4),
+            data=txn.data[:chunk].ljust(chunk, b"\x00"),
+        )
+        self.port.issue(write, self._on_write_done)
+
+    def _on_write_done(self, txn: BusTransaction) -> None:
+        if txn.status is not TransactionStatus.COMPLETED:
+            self._abort(txn)
+            return
+        chunk = self._chunk()
+        self._src += chunk
+        self._dst += chunk
+        self._remaining -= chunk
+        self.bytes_copied += chunk
+        self.bump("bytes_copied", chunk)
+        self._issue_read()
+
+    def _abort(self, txn: BusTransaction) -> None:
+        self.active = False
+        self.blocked = True
+        self.bump("aborted_transfers")
+        self.record("abort_reason", txn.annotations.get("block_reason", txn.status.value))
+        if self._on_done is not None:
+            self._on_done(self)
+
+    def _finish(self) -> None:
+        self.active = False
+        self.bump("transfers_completed")
+        if self._on_done is not None:
+            self._on_done(self)

@@ -1,0 +1,241 @@
+"""Declarative construction of the reference platform (paper Figure 1).
+
+The evaluated system "contains 3 MicroBlaze softcore microprocessors, one
+internal shared memory (BRAM blocks), one external memory (DDR RAM) and one
+dedicated IP" (paper, section V).  :func:`build_reference_platform` builds
+exactly that topology, *without* any security enhancement — the security layer
+of :mod:`repro.core` attaches firewalls to the returned ports afterwards, so
+the same builder produces both the "w/o firewalls" baseline and the protected
+system of Table I.
+
+The default memory map mirrors a typical MicroBlaze/PLB design:
+
+========== ============ =========== ==========================
+region      base          size        slave
+========== ============ =========== ==========================
+bram        0x0000_0000   128 KiB     on-chip BRAM
+ip0_regs    0x4000_0000   256 B       dedicated IP register file
+ddr         0x9000_0000   16 MiB      external DDR (off-chip)
+========== ============ =========== ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.soc.address_map import AddressMap
+from repro.soc.bus import Arbiter, RoundRobinArbiter, SystemBus
+from repro.soc.ip import DMAEngine, RegisterFileIP
+from repro.soc.kernel import Simulator
+from repro.soc.memory import BlockRAM, ExternalDDR
+from repro.soc.ports import MasterPort, SlavePort
+from repro.soc.processor import Processor, ProcessorProgram
+
+__all__ = ["SoCConfig", "SoCSystem", "build_reference_platform"]
+
+
+@dataclass
+class SoCConfig:
+    """Parameters of the reference platform."""
+
+    n_processors: int = 3
+    with_dma: bool = True
+    clock_frequency_hz: float = 100e6
+
+    bram_base: int = 0x0000_0000
+    bram_size: int = 128 * 1024
+    bram_latency: int = 1
+
+    ip_regs_base: int = 0x4000_0000
+    ip_n_registers: int = 64
+    ip_access_latency: int = 2
+    ip_sensitive_registers: List[int] = field(default_factory=lambda: [0, 1, 2, 3])
+
+    ddr_base: int = 0x9000_0000
+    ddr_size: int = 16 * 1024 * 1024
+    ddr_row_hit_latency: int = 10
+    ddr_row_miss_latency: int = 30
+
+    address_phase_cycles: int = 1
+    data_phase_cycles_per_beat: int = 1
+
+    def validate(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("platform needs at least one processor")
+        if self.bram_size <= 0 or self.ddr_size <= 0:
+            raise ValueError("memory sizes must be positive")
+
+
+class SoCSystem:
+    """Handle on a constructed platform: simulator, bus, devices and ports.
+
+    The security layer manipulates :attr:`master_ports` and
+    :attr:`slave_ports` to insert firewalls; the workload layer loads programs
+    into :attr:`processors`; the metrics layer reads component statistics
+    through :attr:`sim`.
+    """
+
+    def __init__(self, sim: Simulator, bus: SystemBus, config: SoCConfig) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.config = config
+        self.processors: Dict[str, Processor] = {}
+        self.master_ports: Dict[str, MasterPort] = {}
+        self.slave_ports: Dict[str, SlavePort] = {}
+        self.memories: Dict[str, object] = {}
+        self.ips: Dict[str, object] = {}
+        self.dma: Optional[DMAEngine] = None
+
+    # -- convenience accessors -------------------------------------------------------
+
+    @property
+    def address_map(self) -> AddressMap:
+        return self.bus.address_map
+
+    @property
+    def bram(self) -> BlockRAM:
+        return self.memories["bram"]  # type: ignore[return-value]
+
+    @property
+    def ddr(self) -> ExternalDDR:
+        return self.memories["ddr"]  # type: ignore[return-value]
+
+    @property
+    def register_ip(self) -> RegisterFileIP:
+        return self.ips["ip0"]  # type: ignore[return-value]
+
+    def processor(self, index: int) -> Processor:
+        """Processor ``cpu<index>``."""
+        return self.processors[f"cpu{index}"]
+
+    def load_programs(self, programs: Dict[str, ProcessorProgram]) -> None:
+        """Load one program per processor name."""
+        for name, program in programs.items():
+            if name not in self.processors:
+                raise KeyError(f"no processor named {name}")
+            self.processors[name].load_program(program)
+
+    def start_all(self, stagger: int = 0) -> None:
+        """Start every processor, optionally staggering their start cycles."""
+        for index, processor in enumerate(self.processors.values()):
+            processor.start(delay=index * stagger)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation; returns the final cycle count."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def all_done(self) -> bool:
+        """Whether every processor has finished its program."""
+        return all(p.done for p in self.processors.values())
+
+    def execution_cycles(self) -> int:
+        """Makespan: cycle at which the last processor finished."""
+        finish_times = [p.finished_at for p in self.processors.values() if p.finished_at is not None]
+        if not finish_times:
+            return 0
+        return max(finish_times)
+
+    def describe_topology(self) -> Dict[str, object]:
+        """Structural description used to regenerate Figure 1 as a report."""
+        return {
+            "bus": self.bus.name,
+            "masters": {
+                name: {
+                    "port": port.name,
+                    "filters": [type(f).__name__ for f in port.filters],
+                }
+                for name, port in self.master_ports.items()
+            },
+            "slaves": {
+                name: {
+                    "port": port.name,
+                    "device": type(port.device).__name__,
+                    "filters": [type(f).__name__ for f in port.filters],
+                }
+                for name, port in self.slave_ports.items()
+            },
+            "regions": [
+                {
+                    "name": region.name,
+                    "base": region.base,
+                    "size": region.size,
+                    "slave": region.slave,
+                    "external": region.external,
+                }
+                for region in self.address_map
+            ],
+        }
+
+
+def build_reference_platform(
+    config: Optional[SoCConfig] = None,
+    arbiter: Optional[Arbiter] = None,
+) -> SoCSystem:
+    """Build the unprotected Figure-1 platform.
+
+    Returns a :class:`SoCSystem` whose ports carry no filters; attach
+    firewalls with :func:`repro.core.secure.secure_platform` to obtain the
+    protected variant.
+    """
+    config = config or SoCConfig()
+    config.validate()
+
+    sim = Simulator(clock_frequency_hz=config.clock_frequency_hz)
+
+    address_map = AddressMap()
+    address_map.add_region("bram", config.bram_base, config.bram_size, slave="bram", external=False)
+    address_map.add_region(
+        "ip0_regs", config.ip_regs_base, 4 * config.ip_n_registers, slave="ip0", external=False
+    )
+    address_map.add_region("ddr", config.ddr_base, config.ddr_size, slave="ddr", external=True)
+
+    bus = SystemBus(
+        sim,
+        address_map=address_map,
+        arbiter=arbiter or RoundRobinArbiter(),
+        address_phase_cycles=config.address_phase_cycles,
+        data_phase_cycles_per_beat=config.data_phase_cycles_per_beat,
+    )
+    system = SoCSystem(sim, bus, config)
+
+    # Slave devices and their ports.
+    bram = BlockRAM(
+        sim, "bram", base=config.bram_base, size=config.bram_size,
+        read_latency=config.bram_latency, write_latency=config.bram_latency,
+    )
+    ddr = ExternalDDR(
+        sim, "ddr", base=config.ddr_base, size=config.ddr_size,
+        row_hit_latency=config.ddr_row_hit_latency,
+        row_miss_latency=config.ddr_row_miss_latency,
+    )
+    ip0 = RegisterFileIP(
+        sim, "ip0", base=config.ip_regs_base, n_registers=config.ip_n_registers,
+        access_latency=config.ip_access_latency,
+        sensitive_registers=config.ip_sensitive_registers,
+    )
+    system.memories["bram"] = bram
+    system.memories["ddr"] = ddr
+    system.ips["ip0"] = ip0
+
+    for device in (bram, ddr, ip0):
+        port = SlavePort(sim, f"{device.name}_port", device)
+        system.slave_ports[device.name] = port
+        bus.connect_slave(port)
+
+    # Processors and their master ports.
+    for index in range(config.n_processors):
+        cpu_name = f"cpu{index}"
+        port = MasterPort(sim, f"{cpu_name}_port")
+        bus.connect_master(port)
+        system.master_ports[cpu_name] = port
+        system.processors[cpu_name] = Processor(sim, cpu_name, port)
+
+    # Dedicated DMA master.
+    if config.with_dma:
+        dma_port = MasterPort(sim, "dma_port")
+        bus.connect_master(dma_port)
+        system.master_ports["dma"] = dma_port
+        system.dma = DMAEngine(sim, "dma", dma_port)
+
+    return system

@@ -1,0 +1,38 @@
+"""Workload generation for the reproduction experiments.
+
+The paper's performance discussion is parameterised by two ratios:
+
+* the share of *communication* time versus *computation* time, and
+* the share of *external* (DDR) communication versus *internal* (BRAM / IP)
+  communication,
+
+because "external communications have a larger overhead due to the
+cryptography resources" (section V).  The generators here expose exactly
+those knobs, plus a few named application-shaped workloads used by the
+examples (producer/consumer over the shared BRAM, firmware streaming into the
+protected DDR window, DMA offload).
+"""
+
+from repro.workloads.generators import (
+    SyntheticWorkloadConfig,
+    SyntheticWorkloadGenerator,
+    make_uniform_programs,
+)
+from repro.workloads.patterns import (
+    dma_offload_scenario,
+    firmware_update_program,
+    producer_consumer_programs,
+)
+from repro.workloads.traces import TraceRecord, TraceRecorder, replay_program_from_trace
+
+__all__ = [
+    "SyntheticWorkloadConfig",
+    "SyntheticWorkloadGenerator",
+    "make_uniform_programs",
+    "producer_consumer_programs",
+    "firmware_update_program",
+    "dma_offload_scenario",
+    "TraceRecord",
+    "TraceRecorder",
+    "replay_program_from_trace",
+]

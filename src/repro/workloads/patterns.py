@@ -1,0 +1,133 @@
+"""Application-shaped workload patterns.
+
+Three named scenarios give the examples and integration tests realistic
+shapes (they correspond to the motivating use cases of the paper's
+introduction: multiple cooperating processors, sensitive data in external
+memory, autonomous IPs moving data around):
+
+* :func:`producer_consumer_programs` -- cpu0 produces records into a BRAM
+  mailbox, cpu1 consumes them, cpu2 does background computation,
+* :func:`firmware_update_program` -- a processor streams a firmware image
+  into the protected external-memory window and reads it back for
+  verification (the archetypal confidentiality+integrity workload),
+* :func:`dma_offload_scenario` -- a processor stages a buffer in BRAM and the
+  DMA engine moves it to external memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.soc.processor import MemoryOperation, ProcessorProgram
+from repro.soc.system import SoCConfig, SoCSystem
+
+__all__ = [
+    "producer_consumer_programs",
+    "firmware_update_program",
+    "dma_offload_scenario",
+]
+
+
+def producer_consumer_programs(
+    soc_config: SoCConfig,
+    n_items: int = 32,
+    item_size: int = 16,
+    mailbox_offset: int = 0x1000,
+    compute_cycles: int = 30,
+) -> Dict[str, ProcessorProgram]:
+    """Producer/consumer over a BRAM mailbox plus a background worker.
+
+    cpu0 writes ``n_items`` records of ``item_size`` bytes into the mailbox
+    and updates a ready-counter register in the dedicated IP; cpu1 polls the
+    counter and reads records back; cpu2 interleaves computation with
+    occasional accesses to the unprotected part of the external memory.
+    """
+    if item_size % 4 != 0:
+        raise ValueError("item_size must be a multiple of 4")
+    mailbox_base = soc_config.bram_base + mailbox_offset
+    counter_register = soc_config.ip_regs_base + 4 * (soc_config.ip_n_registers - 1)
+
+    producer = ProcessorProgram(name="producer")
+    for index in range(n_items):
+        payload = bytes(((index * 7 + offset) & 0xFF) for offset in range(item_size))
+        producer.append(MemoryOperation.compute(compute_cycles))
+        producer.append(MemoryOperation.write(mailbox_base + index * item_size, payload))
+        producer.append(MemoryOperation.write(counter_register, (index + 1).to_bytes(4, "little")))
+
+    consumer = ProcessorProgram(name="consumer")
+    for index in range(n_items):
+        consumer.append(MemoryOperation.read(counter_register))
+        consumer.append(
+            MemoryOperation.read(mailbox_base + index * item_size, width=4, burst_length=item_size // 4)
+        )
+        consumer.append(MemoryOperation.compute(compute_cycles))
+
+    background = ProcessorProgram(name="background")
+    scratch_base = soc_config.ddr_base + soc_config.ddr_size // 2  # unprotected window
+    for index in range(n_items):
+        background.append(MemoryOperation.compute(compute_cycles * 2))
+        background.append(
+            MemoryOperation.write(scratch_base + (index % 64) * 4, index.to_bytes(4, "little"))
+        )
+
+    return {"cpu0": producer, "cpu1": consumer, "cpu2": background}
+
+
+def firmware_update_program(
+    soc_config: SoCConfig,
+    image_size: int = 1024,
+    chunk_size: int = 16,
+    target_offset: int = 0,
+    verify: bool = True,
+    seed: int = 7,
+) -> Tuple[ProcessorProgram, bytes]:
+    """Stream a firmware image into the protected DDR window, then re-read it.
+
+    Returns ``(program, image)`` so the caller can check that what ends up
+    being readable through the LCF equals the original image while the DDR
+    backing store only ever holds ciphertext.
+    """
+    if chunk_size % 4 != 0 or chunk_size <= 0:
+        raise ValueError("chunk_size must be a positive multiple of 4")
+    if image_size % chunk_size != 0:
+        raise ValueError("image_size must be a multiple of chunk_size")
+
+    image = bytes(((seed * 131 + i * 17) ^ (i >> 3)) & 0xFF for i in range(image_size))
+    target_base = soc_config.ddr_base + target_offset
+
+    program = ProcessorProgram(name="firmware_update")
+    for offset in range(0, image_size, chunk_size):
+        program.append(
+            MemoryOperation.write(target_base + offset, image[offset : offset + chunk_size])
+        )
+    if verify:
+        for offset in range(0, image_size, chunk_size):
+            program.append(
+                MemoryOperation.read(target_base + offset, width=4, burst_length=chunk_size // 4)
+            )
+    return program, image
+
+
+def dma_offload_scenario(
+    system: SoCSystem,
+    buffer_size: int = 256,
+    staging_offset: int = 0x2000,
+    destination_offset: int = 0x8000,
+) -> Tuple[ProcessorProgram, int, int]:
+    """Stage a buffer in BRAM with cpu0, then let the DMA push it to the DDR.
+
+    Returns ``(cpu0_program, staging_address, destination_address)``.  The
+    caller is responsible for kicking off the DMA once cpu0 has finished (see
+    ``examples/dma_offload.py``).
+    """
+    if buffer_size % 4 != 0:
+        raise ValueError("buffer_size must be a multiple of 4")
+    soc_config = system.config
+    staging = soc_config.bram_base + staging_offset
+    destination = soc_config.ddr_base + destination_offset
+
+    program = ProcessorProgram(name="dma_staging")
+    for offset in range(0, buffer_size, 4):
+        word = ((offset // 4) * 2654435761 & 0xFFFFFFFF).to_bytes(4, "little")
+        program.append(MemoryOperation.write(staging + offset, word))
+    return program, staging, destination

@@ -1,0 +1,137 @@
+"""Transaction trace recording and replay.
+
+Useful for two things:
+
+* regression material -- a workload can be captured once and replayed
+  bit-exactly against a modified platform (e.g. protected vs unprotected),
+* post-mortem analysis -- the analysis layer can inspect a flat record of
+  everything that happened on the bus without keeping the simulator alive.
+
+Traces are plain lists of dictionaries so they serialise trivially to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.soc.bus import SystemBus
+from repro.soc.processor import MemoryOperation, ProcessorProgram
+from repro.soc.transaction import BusOperation, BusTransaction
+
+__all__ = ["TraceRecord", "TraceRecorder", "replay_program_from_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed transaction, flattened for serialisation."""
+
+    master: str
+    operation: str
+    address: int
+    width: int
+    burst_length: int
+    status: str
+    issued_at: int
+    completed_at: int
+    total_latency: int
+    security_latency: int
+    data_hex: Optional[str] = None
+
+    @classmethod
+    def from_transaction(cls, txn: BusTransaction, include_data: bool = False) -> "TraceRecord":
+        return cls(
+            master=txn.master,
+            operation=txn.operation.value,
+            address=txn.address,
+            width=txn.width,
+            burst_length=txn.burst_length,
+            status=txn.status.value,
+            issued_at=txn.issued_at,
+            completed_at=txn.completed_at,
+            total_latency=txn.total_latency,
+            security_latency=txn.security_latency,
+            data_hex=txn.data.hex() if (include_data and txn.data is not None) else None,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects from completed transactions."""
+
+    def __init__(self, include_data: bool = False) -> None:
+        self.include_data = include_data
+        self.records: List[TraceRecord] = []
+
+    def capture(self, txn: BusTransaction) -> None:
+        """Record one transaction (typically called from a completion callback)."""
+        self.records.append(TraceRecord.from_transaction(txn, self.include_data))
+
+    def capture_all(self, transactions: Iterable[BusTransaction]) -> None:
+        for txn in transactions:
+            self.capture(txn)
+
+    def capture_bus_history(self, bus: SystemBus) -> None:
+        """Snapshot every transaction the bus monitor has observed."""
+        self.capture_all(bus.monitor.history)
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps([record.to_dict() for record in self.records], indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TraceRecorder":
+        recorder = cls()
+        for entry in json.loads(payload):
+            recorder.records.append(TraceRecord(**entry))
+        return recorder
+
+    # -- summary statistics -------------------------------------------------------------
+
+    def count(self) -> int:
+        return len(self.records)
+
+    def blocked_count(self) -> int:
+        return sum(1 for r in self.records if r.status not in ("completed",))
+
+    def mean_latency(self) -> float:
+        latencies = [r.total_latency for r in self.records if r.total_latency >= 0]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def mean_security_latency(self) -> float:
+        latencies = [r.security_latency for r in self.records if r.total_latency >= 0]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+
+def replay_program_from_trace(
+    records: Iterable[TraceRecord],
+    master: str,
+    fill_byte: int = 0xA5,
+) -> ProcessorProgram:
+    """Rebuild a processor program that re-issues the accesses of one master.
+
+    Write payloads are reconstructed from the recorded data when available and
+    filled with ``fill_byte`` otherwise.
+    """
+    program = ProcessorProgram(name=f"replay_{master}")
+    for record in records:
+        if record.master != master:
+            continue
+        size = record.width * record.burst_length
+        if record.operation == BusOperation.WRITE.value:
+            if record.data_hex is not None:
+                data = bytes.fromhex(record.data_hex)[:size].ljust(size, bytes([fill_byte]))
+            else:
+                data = bytes([fill_byte]) * size
+            program.append(
+                MemoryOperation.write(record.address, data, width=record.width)
+            )
+        else:
+            program.append(
+                MemoryOperation.read(record.address, width=record.width, burst_length=record.burst_length)
+            )
+    return program

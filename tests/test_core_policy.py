@@ -1,0 +1,207 @@
+"""Tests for security policies, rules and configuration memories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    ConfidentialityMode,
+    ConfigurationMemory,
+    ConfigurationMemoryFull,
+    IntegrityMode,
+    PolicyLookupError,
+    PolicyRule,
+    ReadWriteAccess,
+    SecurityPolicy,
+)
+
+
+def make_policy(**overrides):
+    params = dict(spi=1)
+    params.update(overrides)
+    return SecurityPolicy(**params)
+
+
+class TestReadWriteAccess:
+    @pytest.mark.parametrize(
+        "rwa,reads,writes",
+        [
+            (ReadWriteAccess.READ_ONLY, True, False),
+            (ReadWriteAccess.WRITE_ONLY, False, True),
+            (ReadWriteAccess.READ_WRITE, True, True),
+            (ReadWriteAccess.NO_ACCESS, False, False),
+        ],
+    )
+    def test_direction_predicates(self, rwa, reads, writes):
+        assert rwa.allows_read() is reads
+        assert rwa.allows_write() is writes
+
+
+class TestSecurityPolicy:
+    def test_defaults(self):
+        policy = make_policy()
+        assert policy.allows_operation(is_write=True)
+        assert policy.allows_operation(is_write=False)
+        assert policy.allows_format(1) and policy.allows_format(2) and policy.allows_format(4)
+        assert not policy.needs_ciphering and not policy.needs_integrity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_policy(spi=-1)
+        with pytest.raises(ValueError):
+            make_policy(allowed_formats=frozenset())
+        with pytest.raises(ValueError):
+            make_policy(allowed_formats=frozenset({8}))
+        with pytest.raises(ValueError):
+            make_policy(max_burst_length=0)
+        with pytest.raises(ValueError):
+            make_policy(confidentiality=ConfidentialityMode.CIPHER)  # missing key_spi
+
+    def test_ciphering_policy_with_key(self):
+        policy = make_policy(
+            confidentiality=ConfidentialityMode.CIPHER,
+            integrity=IntegrityMode.HASH_TREE,
+            key_spi=7,
+        )
+        assert policy.needs_ciphering and policy.needs_integrity
+
+    def test_format_and_burst_checks(self):
+        policy = make_policy(allowed_formats=frozenset({4}), max_burst_length=2)
+        assert policy.allows_format(4) and not policy.allows_format(1)
+        assert policy.allows_burst(2) and not policy.allows_burst(3)
+
+    def test_with_updates_creates_modified_copy(self):
+        policy = make_policy()
+        tightened = policy.with_updates(rwa=ReadWriteAccess.READ_ONLY)
+        assert tightened.rwa is ReadWriteAccess.READ_ONLY
+        assert policy.rwa is ReadWriteAccess.READ_WRITE
+        assert tightened.spi == policy.spi
+
+    def test_rule_count_scales_with_features(self):
+        plain = make_policy(allowed_formats=frozenset({4}))
+        rich = make_policy(
+            allowed_formats=frozenset({1, 2, 4}),
+            confidentiality=ConfidentialityMode.CIPHER,
+            integrity=IntegrityMode.HASH_TREE,
+            key_spi=1,
+        )
+        assert rich.rule_count() > plain.rule_count()
+
+    def test_policies_are_hashable_and_frozen(self):
+        policy = make_policy()
+        with pytest.raises(AttributeError):
+            policy.spi = 5  # type: ignore[misc]
+        assert {policy: "x"}[policy] == "x"
+
+
+class TestPolicyRule:
+    def test_covers(self):
+        rule = PolicyRule(base=0x100, size=0x100, policy=make_policy())
+        assert rule.covers(0x100)
+        assert rule.covers(0x1FC, 4)
+        assert not rule.covers(0x1FD, 4)
+        assert not rule.covers(0xFF)
+        assert rule.end == 0x200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolicyRule(base=-1, size=4, policy=make_policy())
+        with pytest.raises(ValueError):
+            PolicyRule(base=0, size=0, policy=make_policy())
+
+    def test_overlaps(self):
+        a = PolicyRule(base=0, size=0x100, policy=make_policy())
+        b = PolicyRule(base=0x80, size=0x100, policy=make_policy())
+        c = PolicyRule(base=0x100, size=0x100, policy=make_policy())
+        assert a.overlaps(b) and not a.overlaps(c)
+
+
+class TestConfigurationMemory:
+    def test_lookup_hits_the_covering_rule(self):
+        memory = ConfigurationMemory("cfg")
+        read_only = make_policy(spi=2, rwa=ReadWriteAccess.READ_ONLY)
+        memory.add(0x0, 0x100, make_policy(spi=1))
+        memory.add(0x100, 0x100, read_only)
+        assert memory.lookup(0x40).spi == 1
+        assert memory.lookup(0x140).spi == 2
+        assert memory.lookup_count == 2
+
+    def test_lookup_miss_default_deny(self):
+        memory = ConfigurationMemory("cfg")
+        memory.add(0x0, 0x100, make_policy())
+        with pytest.raises(PolicyLookupError):
+            memory.lookup(0x1000)
+        assert memory.miss_count == 1
+
+    def test_lookup_miss_with_default_policy(self):
+        default = make_policy(spi=99, rwa=ReadWriteAccess.READ_ONLY)
+        memory = ConfigurationMemory("cfg", default_policy=default)
+        assert memory.lookup(0x5000).spi == 99
+
+    def test_capacity_enforced(self):
+        memory = ConfigurationMemory("cfg", capacity=2)
+        memory.add(0x0, 0x10, make_policy())
+        memory.add(0x10, 0x10, make_policy())
+        with pytest.raises(ConfigurationMemoryFull):
+            memory.add(0x20, 0x10, make_policy())
+
+    def test_overlapping_rules_rejected(self):
+        memory = ConfigurationMemory("cfg")
+        memory.add(0x0, 0x100, make_policy())
+        with pytest.raises(ValueError):
+            memory.add(0x80, 0x100, make_policy())
+
+    def test_remove_and_replace(self):
+        memory = ConfigurationMemory("cfg")
+        memory.add(0x0, 0x100, make_policy(spi=1))
+        assert memory.replace_policy(0x0, make_policy(spi=5))
+        assert memory.lookup(0x0).spi == 5
+        assert not memory.replace_policy(0x900, make_policy(spi=6))
+        assert memory.remove(0x0)
+        assert not memory.remove(0x0)
+        assert memory.reconfiguration_count == 2
+        assert len(memory) == 0
+
+    def test_rule_for_and_iteration(self):
+        memory = ConfigurationMemory("cfg")
+        rule = memory.add(0x0, 0x100, make_policy(), label="window")
+        assert memory.rule_for(0x50) is rule
+        assert memory.rule_for(0x500) is None
+        assert list(memory) == [rule]
+        assert memory.rules == (rule,)
+
+    def test_total_rule_count_and_policies(self):
+        memory = ConfigurationMemory("cfg")
+        memory.add(0x0, 0x100, make_policy(spi=1))
+        memory.add(0x100, 0x100, make_policy(spi=1))
+        memory.add(0x200, 0x100, make_policy(spi=2, allowed_formats=frozenset({4})))
+        assert len(memory.policies()) == 2
+        assert memory.total_rule_count() > 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ConfigurationMemory("cfg", capacity=0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63), st.integers(min_value=1, max_value=8)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lookup_never_returns_non_covering_rule(self, windows):
+        memory = ConfigurationMemory("cfg", capacity=64)
+        installed = []
+        for index, (slot, length) in enumerate(windows):
+            base = slot * 0x100
+            size = length * 0x10
+            rule = PolicyRule(base=base, size=size, policy=make_policy(spi=index))
+            if any(rule.overlaps(other) for other in installed):
+                continue
+            memory.add_rule(rule)
+            installed.append(rule)
+        for rule in installed:
+            policy = memory.lookup(rule.base, 1)
+            assert rule.covers(rule.base)
+            assert policy.spi == rule.policy.spi

@@ -1,0 +1,116 @@
+"""Tests for HMAC-SHA256 and AES-CMAC."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mac import AESCMAC, HMACSHA256, constant_time_compare
+
+
+# RFC 4493 test vectors (AES-128 CMAC).
+CMAC_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+CMAC_VECTORS = [
+    (b"", "bb1d6929e95937287fa37d129b756746"),
+    (bytes.fromhex("6bc1bee22e409f96e93d7e117393172a"), "070a16b46b4d4144f79bdd9dd04a287c"),
+    (
+        bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411"
+        ),
+        "dfa66747de9ae63030ca32611497c827",
+    ),
+    (
+        bytes.fromhex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+            "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+        ),
+        "51f0bebf7e3b9d92fc49741779363cfe",
+    ),
+]
+
+# RFC 4231 test case 2 for HMAC-SHA256.
+HMAC_RFC4231_KEY = b"Jefe"
+HMAC_RFC4231_MESSAGE = b"what do ya want for nothing?"
+HMAC_RFC4231_TAG = "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+
+
+class TestConstantTimeCompare:
+    def test_equal(self):
+        assert constant_time_compare(b"abc", b"abc")
+
+    def test_unequal_same_length(self):
+        assert not constant_time_compare(b"abc", b"abd")
+
+    def test_unequal_lengths(self):
+        assert not constant_time_compare(b"abc", b"abcd")
+
+
+class TestHMACSHA256:
+    def test_rfc4231_case2(self):
+        assert HMACSHA256(HMAC_RFC4231_KEY).compute(HMAC_RFC4231_MESSAGE).hex() == HMAC_RFC4231_TAG
+
+    def test_long_key_is_hashed_first(self):
+        key = b"k" * 100  # longer than the 64-byte block
+        ours = HMACSHA256(key).compute(b"msg")
+        theirs = stdlib_hmac.new(key, b"msg", hashlib.sha256).digest()
+        assert ours == theirs
+
+    def test_verify_accepts_and_rejects(self):
+        mac = HMACSHA256(b"secret")
+        tag = mac.compute(b"payload")
+        assert mac.verify(b"payload", tag)
+        assert not mac.verify(b"payload!", tag)
+        assert not mac.verify(b"payload", tag[:-1] + bytes([tag[-1] ^ 1]))
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(TypeError):
+            HMACSHA256("secret")  # type: ignore[arg-type]
+
+    @given(st.binary(min_size=0, max_size=80), st.binary(min_size=0, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_stdlib(self, key, message):
+        ours = HMACSHA256(key).compute(message)
+        theirs = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+        assert ours == theirs
+
+
+class TestAESCMAC:
+    @pytest.mark.parametrize("message,expected", CMAC_VECTORS)
+    def test_rfc4493_vectors(self, message, expected):
+        assert AESCMAC(CMAC_KEY).compute(message).hex() == expected
+
+    def test_verify_detects_tampering(self):
+        mac = AESCMAC(CMAC_KEY)
+        message = b"external memory block contents!!"
+        tag = mac.compute(message)
+        assert mac.verify(message, tag)
+        tampered = b"external memory block contentsX!"
+        assert not mac.verify(tampered, tag)
+
+    def test_tag_size(self):
+        assert len(AESCMAC(CMAC_KEY).compute(b"x")) == AESCMAC.TAG_SIZE
+
+    def test_different_keys_give_different_tags(self):
+        message = b"same message"
+        assert AESCMAC(CMAC_KEY).compute(message) != AESCMAC(bytes(16)).compute(message)
+
+    @given(st.binary(min_size=0, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_and_self_verifying(self, message):
+        mac = AESCMAC(CMAC_KEY)
+        tag = mac.compute(message)
+        assert mac.compute(message) == tag
+        assert mac.verify(message, tag)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_flip_always_detected(self, message, bit):
+        mac = AESCMAC(CMAC_KEY)
+        tag = mac.compute(message)
+        tampered = bytearray(message)
+        tampered[0] ^= 1 << bit
+        if bytes(tampered) != message:
+            assert not mac.verify(bytes(tampered), tag)

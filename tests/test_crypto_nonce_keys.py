@@ -1,0 +1,178 @@
+"""Tests for timestamp/nonce management and the key store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyError_, KeyStore, KeyStoreLocked, derive_key, random_key
+from repro.crypto.nonce import NonceManager, ReplayDetected, TimestampManager
+
+
+class TestTimestampManager:
+    def test_initial_tag_is_zero(self):
+        ts = TimestampManager(block_size=32)
+        assert ts.current(0x1000) == 0
+
+    def test_advance_increments_per_block(self):
+        ts = TimestampManager(block_size=32)
+        assert ts.advance(0x100) == 1
+        assert ts.advance(0x100) == 2
+        assert ts.advance(0x11F) == 3   # same 32-byte block as 0x100
+        assert ts.current(0x120) == 0   # next block untouched
+
+    def test_check_passes_on_current_tag(self):
+        ts = TimestampManager()
+        ts.advance(0)
+        ts.check(0, 1)
+
+    def test_check_raises_on_stale_tag(self):
+        ts = TimestampManager()
+        ts.advance(0)
+        ts.advance(0)
+        with pytest.raises(ReplayDetected) as excinfo:
+            ts.check(0, 1)
+        assert excinfo.value.expected == 2
+        assert excinfo.value.presented == 1
+
+    def test_wraparound_counted(self):
+        ts = TimestampManager(tag_bits=2)  # max tag 3
+        for _ in range(3):
+            ts.advance(0)
+        assert ts.wraparounds == 0
+        ts.advance(0)  # would reach 4 > max tag 3, so wraps to 0
+        assert ts.wraparounds == 1
+        assert ts.current(0) == 0
+
+    def test_reset(self):
+        ts = TimestampManager()
+        ts.advance(0)
+        ts.reset()
+        assert ts.current(0) == 0
+        assert ts.tracked_blocks() == 0
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimestampManager(block_size=0)
+        with pytest.raises(ValueError):
+            TimestampManager(tag_bits=0)
+        with pytest.raises(ValueError):
+            TimestampManager().current(-4)
+
+
+class TestNonceManager:
+    def test_nonce_layout(self):
+        manager = NonceManager(block_size=32)
+        nonce = manager.nonce_for(0x40, timestamp=7)
+        assert nonce == (2).to_bytes(4, "big") + (7).to_bytes(4, "big")
+        assert len(nonce) == NonceManager.NONCE_SIZE
+
+    def test_nonce_uses_current_timestamp_by_default(self):
+        ts = TimestampManager(block_size=32)
+        manager = NonceManager(ts)
+        ts.advance(0)
+        assert manager.nonce_for(0)[4:] == (1).to_bytes(4, "big")
+
+    def test_write_path_nonces_are_unique(self):
+        ts = TimestampManager(block_size=32)
+        manager = NonceManager(ts)
+        seen = set()
+        for _ in range(50):
+            tag = ts.advance(0x20)
+            seen.add(manager.nonce_for(0x20, tag))
+        assert len(seen) == 50
+        assert manager.reuse_violations() == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_advancing_timestamps_never_reuses_write_nonces(self, addresses):
+        ts = TimestampManager(block_size=32)
+        manager = NonceManager(ts)
+        for address in addresses:
+            tag = ts.advance(address)
+            manager.nonce_for(address, tag)
+        assert manager.reuse_violations() == 0
+
+
+class TestKeyDerivation:
+    def test_random_key_is_deterministic(self):
+        assert random_key(42) == random_key(42)
+        assert random_key(42) != random_key(43)
+
+    def test_random_key_length(self):
+        assert len(random_key(1, 16)) == 16
+        assert len(random_key(1, 33)) == 33
+        with pytest.raises(ValueError):
+            random_key(1, 0)
+
+    def test_derive_key_domain_separation(self):
+        master = b"master-secret"
+        assert derive_key(master, "region-a") != derive_key(master, "region-b")
+        assert derive_key(master, "region-a") == derive_key(master, "region-a")
+
+    def test_derive_key_validations(self):
+        with pytest.raises(ValueError):
+            derive_key(b"", "label")
+        with pytest.raises(ValueError):
+            derive_key(b"m", "label", 0)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_seeds_give_distinct_keys(self, seed_a, seed_b):
+        if seed_a != seed_b:
+            assert random_key(seed_a) != random_key(seed_b)
+
+
+class TestKeyStore:
+    def test_install_and_get(self):
+        store = KeyStore()
+        store.install(1, random_key(1))
+        assert store.get(1) == random_key(1)
+        assert store.has(1)
+        assert 1 in store
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError_):
+            KeyStore().get(9)
+
+    def test_install_validates_key_length(self):
+        store = KeyStore(key_length=16)
+        with pytest.raises(ValueError):
+            store.install(1, b"short")
+        with pytest.raises(ValueError):
+            store.install(-1, bytes(16))
+
+    def test_install_derived(self):
+        store = KeyStore()
+        key = store.install_derived(3, b"master")
+        assert store.get(3) == key
+        assert len(key) == 16
+
+    def test_lock_blocks_modification(self):
+        store = KeyStore()
+        store.install(1, bytes(16))
+        store.lock()
+        assert store.locked
+        with pytest.raises(KeyStoreLocked):
+            store.install(2, bytes(16))
+        with pytest.raises(KeyStoreLocked):
+            store.zeroise(1)
+        # Reads still work while locked.
+        assert store.get(1) == bytes(16)
+        store.unlock()
+        store.install(2, bytes(16))
+
+    def test_zeroise(self):
+        store = KeyStore()
+        store.install(1, bytes(16))
+        store.install(2, bytes(16))
+        store.zeroise(1)
+        assert not store.has(1)
+        store.zeroise_all()
+        assert len(store) == 0
+
+    def test_iteration_is_sorted(self):
+        store = KeyStore()
+        for spi in (5, 1, 3):
+            store.install(spi, bytes(16))
+        assert list(store) == [1, 3, 5]

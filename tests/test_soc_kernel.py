@@ -1,0 +1,151 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.kernel import Component, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "late")
+        sim.schedule(10, order.append, "early")
+        sim.schedule(20, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+        assert sim.now == 30
+
+    def test_same_cycle_events_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(5, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(7, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(3, outer)
+        sim.run()
+        assert seen == [("outer", 3), ("inner", 10)]
+
+    def test_event_cancellation(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(5, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending_events == 0
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(100, fired.append, "b")
+        sim.run(until=50)
+        assert fired == ["a"]
+        assert sim.now == 50
+        # Resume past the horizon.
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_cannot_nest_run(self):
+        sim = Simulator()
+
+        def recurse():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0, recurse)
+        sim.run()
+
+
+class TestTimeConversion:
+    def test_cycles_to_seconds_at_100mhz(self):
+        sim = Simulator(clock_frequency_hz=100e6)
+        assert sim.cycles_to_seconds(100_000_000) == pytest.approx(1.0)
+        assert sim.cycles_to_us(100) == pytest.approx(1.0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            Simulator(clock_frequency_hz=0)
+
+
+class TestComponent:
+    def test_registration_and_stats(self):
+        sim = Simulator()
+        component = Component(sim, "thing")
+        component.bump("events")
+        component.bump("events", 4)
+        component.record("mode", "fast")
+        assert component.stats == {"events": 5, "mode": "fast"}
+        assert sim.collect_stats()["thing"]["events"] == 5
+
+    def test_multiple_components_collected(self):
+        sim = Simulator()
+        Component(sim, "a").bump("x")
+        Component(sim, "b").bump("y", 2)
+        stats = sim.collect_stats()
+        assert set(stats) == {"a", "b"}
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_event_order_is_deterministic(self, delays):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for index, delay in enumerate(delays):
+                sim.schedule(delay, order.append, (delay, index))
+            sim.run()
+            return order
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        # Events sorted by (time, insertion order).
+        assert first == sorted(first, key=lambda item: (item[0], item[1]))

@@ -1,0 +1,158 @@
+"""Tests for the processor model and the reference platform builder."""
+
+import pytest
+
+from repro.soc.processor import MemoryOperation, OperationKind, ProcessorProgram
+from repro.soc.system import SoCConfig, build_reference_platform
+from repro.soc.transaction import TransactionStatus
+
+
+class TestMemoryOperation:
+    def test_compute_factory(self):
+        op = MemoryOperation.compute(25)
+        assert op.kind is OperationKind.COMPUTE
+        assert op.compute_cycles == 25
+        assert not op.is_memory_access
+        with pytest.raises(ValueError):
+            MemoryOperation.compute(-1)
+
+    def test_read_factory(self):
+        op = MemoryOperation.read(0x100, width=2, burst_length=4)
+        assert op.kind is OperationKind.READ
+        assert op.is_memory_access
+
+    def test_write_factory_derives_burst(self):
+        op = MemoryOperation.write(0x100, bytes(16))
+        assert op.burst_length == 4
+        with pytest.raises(ValueError):
+            MemoryOperation.write(0x100, b"abc", width=4)
+
+
+class TestProcessorProgram:
+    def build(self):
+        return ProcessorProgram(
+            [
+                MemoryOperation.compute(10),
+                MemoryOperation.write(0x0, bytes(4)),
+                MemoryOperation.read(0x0),
+                MemoryOperation.compute(5),
+            ],
+            name="p",
+        )
+
+    def test_counts(self):
+        program = self.build()
+        assert len(program) == 4
+        assert program.memory_operation_count() == 2
+        assert program.compute_cycle_count() == 15
+        assert program.bytes_transferred() == 8
+
+    def test_append_extend_chaining(self):
+        program = ProcessorProgram()
+        program.append(MemoryOperation.compute(1)).extend([MemoryOperation.read(0)])
+        assert len(program) == 2
+
+
+class TestProcessorExecution:
+    def test_program_runs_to_completion(self):
+        system = build_reference_platform()
+        cfg = system.config
+        program = ProcessorProgram(
+            [
+                MemoryOperation.write(cfg.bram_base + 0x40, b"\x11\x22\x33\x44"),
+                MemoryOperation.compute(50),
+                MemoryOperation.read(cfg.bram_base + 0x40),
+            ]
+        )
+        cpu = system.processors["cpu0"]
+        cpu.load_program(program)
+        cpu.start()
+        system.run()
+        assert cpu.done
+        assert cpu.execution_cycles > 50
+        assert cpu.transactions[-1].data == b"\x11\x22\x33\x44"
+        assert cpu.stats["completed_accesses"] == 2
+        assert cpu.computation_cycles() == 50
+        assert cpu.communication_cycles() > 0
+
+    def test_cannot_start_twice_or_reload_after_start(self):
+        system = build_reference_platform()
+        cpu = system.processors["cpu0"]
+        cpu.load_program(ProcessorProgram([MemoryOperation.compute(1)]))
+        cpu.start()
+        with pytest.raises(RuntimeError):
+            cpu.start()
+        with pytest.raises(RuntimeError):
+            cpu.load_program(ProcessorProgram())
+
+    def test_on_finished_callback(self):
+        system = build_reference_platform()
+        finished = []
+        cpu = system.processors["cpu1"]
+        cpu.on_finished = finished.append
+        cpu.load_program(ProcessorProgram([MemoryOperation.compute(5)]))
+        cpu.start()
+        system.run()
+        assert finished == [cpu]
+
+    def test_empty_program_finishes_immediately(self):
+        system = build_reference_platform()
+        cpu = system.processors["cpu0"]
+        cpu.start()
+        system.run()
+        assert cpu.done
+        assert cpu.execution_cycles == 0
+
+    def test_three_cpus_share_the_bus(self):
+        system = build_reference_platform()
+        cfg = system.config
+        programs = {}
+        for index in range(3):
+            programs[f"cpu{index}"] = ProcessorProgram(
+                [MemoryOperation.read(cfg.bram_base + 0x10 * index) for _ in range(5)]
+            )
+        system.load_programs(programs)
+        system.start_all()
+        system.run()
+        assert system.all_done()
+        assert system.bus.monitor.count() == 15
+        # All three masters appear on the bus.
+        assert set(system.bus.monitor.per_master) == {"cpu0", "cpu1", "cpu2"}
+
+
+class TestReferencePlatform:
+    def test_default_topology_matches_paper_figure1(self):
+        system = build_reference_platform()
+        assert len(system.processors) == 3
+        assert system.dma is not None
+        assert set(system.memories) == {"bram", "ddr"}
+        assert set(system.ips) == {"ip0"}
+        topology = system.describe_topology()
+        assert len(topology["masters"]) == 4   # 3 CPUs + DMA
+        assert len(topology["slaves"]) == 3    # BRAM, DDR, IP
+        external = [r for r in topology["regions"] if r["external"]]
+        assert [r["name"] for r in external] == ["ddr"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            build_reference_platform(SoCConfig(n_processors=0))
+        with pytest.raises(ValueError):
+            build_reference_platform(SoCConfig(bram_size=0))
+
+    def test_custom_processor_count(self):
+        system = build_reference_platform(SoCConfig(n_processors=5, with_dma=False))
+        assert len(system.processors) == 5
+        assert system.dma is None
+
+    def test_load_programs_rejects_unknown_cpu(self):
+        system = build_reference_platform()
+        with pytest.raises(KeyError):
+            system.load_programs({"cpu9": ProcessorProgram()})
+
+    def test_execution_cycles_zero_before_running(self):
+        system = build_reference_platform()
+        assert system.execution_cycles() == 0
+
+    def test_processor_accessor(self):
+        system = build_reference_platform()
+        assert system.processor(2) is system.processors["cpu2"]

@@ -1,0 +1,227 @@
+"""Tests for the workload generators, application patterns and trace tools."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.processor import OperationKind, ProcessorProgram
+from repro.soc.system import SoCConfig, build_reference_platform
+from repro.soc.transaction import TransactionStatus
+from repro.workloads.generators import (
+    SyntheticWorkloadConfig,
+    SyntheticWorkloadGenerator,
+    make_uniform_programs,
+)
+from repro.workloads.patterns import (
+    dma_offload_scenario,
+    firmware_update_program,
+    producer_consumer_programs,
+)
+from repro.workloads.traces import TraceRecord, TraceRecorder, replay_program_from_trace
+
+
+class TestSyntheticGenerator:
+    def test_determinism(self):
+        generator = SyntheticWorkloadGenerator()
+        cfg = SyntheticWorkloadConfig(seed=5, n_operations=100)
+        a = generator.generate(cfg)
+        b = generator.generate(cfg)
+        assert [op.kind for op in a.operations] == [op.kind for op in b.operations]
+        assert [op.address for op in a.operations] == [op.address for op in b.operations]
+
+    def test_communication_ratio_respected(self):
+        generator = SyntheticWorkloadGenerator()
+        cfg = SyntheticWorkloadConfig(n_operations=2000, communication_ratio=0.3, seed=2)
+        program = generator.generate(cfg)
+        ratio = program.memory_operation_count() / len(program)
+        assert 0.25 < ratio < 0.35
+
+    def test_extreme_ratios(self):
+        generator = SyntheticWorkloadGenerator()
+        all_compute = generator.generate(
+            SyntheticWorkloadConfig(n_operations=50, communication_ratio=0.0)
+        )
+        assert all_compute.memory_operation_count() == 0
+        all_memory = generator.generate(
+            SyntheticWorkloadConfig(n_operations=50, communication_ratio=1.0)
+        )
+        assert all_memory.memory_operation_count() == 50
+
+    def test_external_share_respected(self):
+        soc = SoCConfig()
+        generator = SyntheticWorkloadGenerator(soc)
+        cfg = SyntheticWorkloadConfig(
+            n_operations=2000, communication_ratio=1.0, external_share=0.7, seed=3
+        )
+        program = generator.generate(cfg)
+        external = sum(
+            1 for op in program.operations
+            if op.is_memory_access and op.address >= soc.ddr_base
+        )
+        share = external / program.memory_operation_count()
+        assert 0.63 < share < 0.77
+
+    def test_addresses_stay_inside_regions(self):
+        soc = SoCConfig()
+        generator = SyntheticWorkloadGenerator(soc)
+        cfg = SyntheticWorkloadConfig(n_operations=500, communication_ratio=1.0,
+                                      external_share=0.5, ip_share_of_internal=0.3, seed=9)
+        program = generator.generate(cfg)
+        for op in program.operations:
+            if not op.is_memory_access:
+                continue
+            end = op.address + op.width * op.burst_length
+            in_bram = soc.bram_base <= op.address and end <= soc.bram_base + soc.bram_size
+            in_ip = soc.ip_regs_base <= op.address and end <= soc.ip_regs_base + 4 * soc.ip_n_registers
+            in_ddr = soc.ddr_base <= op.address and end <= soc.ddr_base + soc.ddr_size
+            assert in_bram or in_ip or in_ddr
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(n_operations=0).validate()
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(communication_ratio=1.5).validate()
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(width=3).validate()
+
+    def test_per_cpu_programs_are_decorrelated(self):
+        generator = SyntheticWorkloadGenerator()
+        cfg = SyntheticWorkloadConfig(n_operations=100, communication_ratio=1.0, seed=1)
+        programs = generator.generate_per_cpu(cfg, ["cpu0", "cpu1"])
+        addresses_0 = [op.address for op in programs["cpu0"].operations]
+        addresses_1 = [op.address for op in programs["cpu1"].operations]
+        assert addresses_0 != addresses_1
+
+    def test_make_uniform_programs(self):
+        programs = make_uniform_programs(SoCConfig(), ["cpu0", "cpu1", "cpu2"], n_operations=20)
+        assert set(programs) == {"cpu0", "cpu1", "cpu2"}
+        assert all(len(p) == 20 for p in programs.values())
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generator_never_produces_invalid_operations(self, comm, ext, n_ops):
+        generator = SyntheticWorkloadGenerator()
+        cfg = SyntheticWorkloadConfig(
+            n_operations=n_ops, communication_ratio=comm, external_share=ext, seed=11
+        )
+        program = generator.generate(cfg)
+        assert len(program) == n_ops
+        for op in program.operations:
+            if op.kind is OperationKind.WRITE:
+                assert op.data is not None and len(op.data) == op.width * op.burst_length
+
+
+class TestPatterns:
+    def test_producer_consumer_runs_clean_on_secured_platform(self, secured):
+        system, security = secured
+        programs = producer_consumer_programs(system.config, n_items=8)
+        system.load_programs(programs)
+        system.start_all()
+        system.run()
+        assert system.all_done()
+        assert security.monitor.count() == 0
+        consumer = system.processors["cpu1"]
+        blocked = [t for t in consumer.transactions if t.status is not TransactionStatus.COMPLETED]
+        assert not blocked
+
+    def test_producer_consumer_item_size_validation(self):
+        with pytest.raises(ValueError):
+            producer_consumer_programs(SoCConfig(), item_size=10)
+
+    def test_firmware_update_roundtrip(self, secured):
+        system, security = secured
+        program, image = firmware_update_program(system.config, image_size=256, chunk_size=16)
+        system.processors["cpu0"].load_program(program)
+        system.processors["cpu0"].start()
+        system.run()
+        cpu = system.processors["cpu0"]
+        reads = [t for t in cpu.transactions if t.is_read]
+        readback = b"".join(t.data for t in reads)
+        assert readback == image
+        # External memory never stores the image in plaintext.
+        raw = system.ddr.peek(system.config.ddr_base, 256)
+        assert raw != image
+        assert security.monitor.count() == 0
+
+    def test_firmware_update_validation(self):
+        with pytest.raises(ValueError):
+            firmware_update_program(SoCConfig(), image_size=100, chunk_size=13)
+        with pytest.raises(ValueError):
+            firmware_update_program(SoCConfig(), image_size=100, chunk_size=16)
+
+    def test_dma_offload_scenario(self, plain_platform):
+        system = plain_platform
+        program, staging, destination = dma_offload_scenario(system, buffer_size=64)
+        system.processors["cpu0"].load_program(program)
+        system.processors["cpu0"].start()
+        system.run()
+        system.dma.kickoff(staging, destination, 64)
+        system.run()
+        assert system.ddr.peek(destination, 64) == system.bram.peek(staging, 64)
+
+    def test_dma_offload_validation(self, plain_platform):
+        with pytest.raises(ValueError):
+            dma_offload_scenario(plain_platform, buffer_size=10)
+
+
+class TestTraces:
+    def run_simple_workload(self, platform):
+        from repro.soc.processor import MemoryOperation, ProcessorProgram
+
+        cfg = platform.config
+        program = ProcessorProgram([
+            MemoryOperation.write(cfg.bram_base + 0x10, b"\x01\x02\x03\x04"),
+            MemoryOperation.read(cfg.bram_base + 0x10),
+        ])
+        platform.processors["cpu0"].load_program(program)
+        platform.processors["cpu0"].start()
+        platform.run()
+        return platform.processors["cpu0"].transactions
+
+    def test_capture_and_statistics(self, plain_platform):
+        transactions = self.run_simple_workload(plain_platform)
+        recorder = TraceRecorder(include_data=True)
+        recorder.capture_all(transactions)
+        assert recorder.count() == 2
+        assert recorder.blocked_count() == 0
+        assert recorder.mean_latency() > 0
+        assert recorder.mean_security_latency() == 0  # unprotected platform
+
+    def test_json_roundtrip(self, plain_platform):
+        transactions = self.run_simple_workload(plain_platform)
+        recorder = TraceRecorder(include_data=True)
+        recorder.capture_all(transactions)
+        payload = recorder.to_json(indent=2)
+        parsed = json.loads(payload)
+        assert len(parsed) == 2
+        restored = TraceRecorder.from_json(payload)
+        assert restored.count() == 2
+        assert restored.records[0].master == "cpu0"
+
+    def test_capture_bus_history(self, plain_platform):
+        self.run_simple_workload(plain_platform)
+        recorder = TraceRecorder()
+        recorder.capture_bus_history(plain_platform.bus)
+        assert recorder.count() == 2
+
+    def test_replay_program(self, plain_platform):
+        transactions = self.run_simple_workload(plain_platform)
+        recorder = TraceRecorder(include_data=True)
+        recorder.capture_all(transactions)
+        program = replay_program_from_trace(recorder.records, "cpu0")
+        assert len(program) == 2
+        assert program.operations[0].kind is OperationKind.WRITE
+        assert program.operations[0].data == b"\x01\x02\x03\x04"
+        assert program.operations[1].kind is OperationKind.READ
+        # Replay on a fresh platform reproduces the same memory state.
+        fresh = build_reference_platform()
+        fresh.processors["cpu0"].load_program(program)
+        fresh.processors["cpu0"].start()
+        fresh.run()
+        assert fresh.bram.peek(fresh.config.bram_base + 0x10, 4) == b"\x01\x02\x03\x04"
