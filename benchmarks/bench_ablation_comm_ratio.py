@@ -19,7 +19,7 @@ the sweep).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import bench_rounds, write_bench_json, write_result
 
 from repro.analysis.tables import format_table
 from repro.core.secure import SecurityConfiguration
@@ -83,7 +83,7 @@ def test_ablation_comm_ratio(benchmark, results_dir):
             security_config=SECURITY,
         )
 
-    benchmark.pedantic(one_protected_run, rounds=3, iterations=1)
+    benchmark.pedantic(one_protected_run, rounds=bench_rounds(3), iterations=1)
 
     # Trend 1: more communication -> more overhead.
     comm_overheads = [float(row[3].rstrip("%")) for row in comm_rows]
@@ -113,3 +113,10 @@ def test_ablation_comm_ratio(benchmark, results_dir):
         "are not paper-reported values.\n"
     )
     write_result(results_dir, "ablation_comm_ratio.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "ablation_comm_ratio",
+        benchmark,
+        comm_ratio_overheads_percent=comm_overheads,
+        external_share_overheads_percent=external_overheads,
+    )

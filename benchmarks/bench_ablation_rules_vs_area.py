@@ -15,7 +15,7 @@ The benchmark timing measures one full sweep of the area model.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.analysis.tables import format_table
 from repro.metrics.area import AreaModel, PAPER_REFERENCE_LF_COUNT, PAPER_TABLE1
@@ -91,3 +91,10 @@ def test_ablation_rules_vs_area(benchmark, results_dir):
         "64 additional rules.  See EXPERIMENTS.md.\n"
     )
     write_result(results_dir, "ablation_rules_vs_area.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "ablation_rules_vs_area",
+        benchmark,
+        lf_luts_by_rule_count=lf_luts,
+        platform_luts_by_firewall_count=totals,
+    )

@@ -21,11 +21,13 @@ The benchmark timing measures a single spoofing attack run end to end
 
 from __future__ import annotations
 
-from conftest import write_result
+import os
+
+from conftest import bench_rounds, write_bench_json, write_result
 
 from repro.analysis.tables import format_table
 from repro.attacks import (
-    AttackCampaign,
+    CampaignRunner,
     DoSFloodAttack,
     ExfiltrationAttack,
     HijackedIPAttack,
@@ -45,8 +47,10 @@ CONTAINED_ATTACKS = {"sensitive_register_probe", "hijacked_ip_write", "exfiltrat
 
 
 def run_campaign():
-    factory = default_platform_factory(security_config=SECURITY)
-    campaign = AttackCampaign(
+    # Sharded campaign runner; results are identical for any worker count, so
+    # the default stays serial for benchmark determinism and CI, while local
+    # sweeps can set REPRO_CAMPAIGN_WORKERS to fan out across cores.
+    runner = CampaignRunner(
         [
             SpoofingAttack(),
             ReplayAttack(),
@@ -56,9 +60,10 @@ def run_campaign():
             ExfiltrationAttack(),
             DoSFloodAttack(n_requests=80),
         ],
-        platform_factory=factory,
+        security_config=SECURITY,
+        n_workers=int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1")),
     )
-    return campaign.run()
+    return runner.run()
 
 
 def test_attack_detection_matrix(benchmark, results_dir):
@@ -69,7 +74,7 @@ def test_attack_detection_matrix(benchmark, results_dir):
         system, security = factory(True)
         return SpoofingAttack().run(system, security)
 
-    benchmark.pedantic(one_spoofing_run, rounds=3, iterations=1)
+    benchmark.pedantic(one_spoofing_run, rounds=bench_rounds(3), iterations=1)
 
     # Reproduction criteria.
     assert report.n_attacks == 7
@@ -101,3 +106,16 @@ def test_attack_detection_matrix(benchmark, results_dir):
         f"\ndetection rate : {100 * summary['detection_rate']:.0f}%\n"
     )
     write_result(results_dir, "attack_detection.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "attack_detection",
+        benchmark,
+        attacks=report.n_attacks,
+        prevented=report.n_prevented,
+        detected=report.n_detected,
+        prevention_rate=report.prevention_rate(),
+        detection_rate=report.detection_rate(),
+        monitor_totals=report.monitor_totals,
+        campaign_workers=report.metrics.get("n_workers"),
+        campaign_wall_seconds=report.metrics.get("wall_seconds"),
+    )

@@ -20,7 +20,7 @@ The benchmark timing measures one distributed-vs-centralised attack pair.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import bench_rounds, write_bench_json, write_result
 
 from repro.analysis.tables import format_table
 from repro.attacks import DoSFloodAttack, HijackedIPAttack
@@ -100,7 +100,7 @@ def test_baseline_centralized_comparison(benchmark, results_dir):
         c_system, _ = build_centralized()
         HijackedIPAttack().run(c_system, None)
 
-    benchmark.pedantic(one_pair, rounds=3, iterations=1)
+    benchmark.pedantic(one_pair, rounds=bench_rounds(3), iterations=1)
 
     containment = results["containment"]
     # Both designs stop and detect the malformed write...
@@ -138,3 +138,14 @@ def test_baseline_centralized_comparison(benchmark, results_dir):
         "the external memory unprotected.\n"
     )
     write_result(results_dir, "baseline_centralized.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "baseline_centralized",
+        benchmark,
+        dos_requests=dos["requests"],
+        distributed_reached_bus=dos["distributed_reached_bus"],
+        centralized_reached_bus=dos["centralized_reached_bus"],
+        distributed_luts=area["distributed_luts"],
+        centralized_luts=area["centralized_luts"],
+        baseline_luts=area["baseline_luts"],
+    )

@@ -16,7 +16,7 @@ the fixed cost every experiment in this repository pays per run.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.analysis.report import ArchitectureReport
 from repro.core.ciphering_firewall import LocalCipheringFirewall
@@ -70,3 +70,12 @@ def test_fig1_architecture(benchmark, results_dir):
         rendered += f"  {firewall.name:<12} ({kind}) guards {firewall.protected_ip}, " \
                     f"{len(firewall.config_memory)} policy rules\n"
     write_result(results_dir, "fig1_architecture.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "fig1_architecture",
+        benchmark,
+        processors=len(system.processors),
+        firewalls=report.firewall_count(),
+        master_firewalls=len(security.master_firewalls),
+        slave_firewalls=len(security.slave_firewalls),
+    )

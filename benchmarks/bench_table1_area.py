@@ -21,7 +21,7 @@ repeats thousands of times).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.analysis.report import PaperComparison, render_table1
 from repro.metrics.area import AreaModel, PAPER_REFERENCE_LF_COUNT, PAPER_TABLE1, generate_table1
@@ -70,3 +70,12 @@ def test_table1_area(benchmark, results_dir):
             f"(rel. err {100 * comparison.relative_error:.2f}%)\n"
         )
     write_result(results_dir, "table1_area.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "table1_area",
+        benchmark,
+        protected_slice_luts=round(protected.slice_luts),
+        protected_brams=round(protected.brams),
+        lf_slice_luts=round(lf.slice_luts),
+        lcf_slice_luts=round(lcf.slice_luts),
+    )

@@ -18,7 +18,7 @@ sweep.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import bench_rounds, write_bench_json, write_result
 
 from repro.analysis.report import render_table2
 from repro.core.constants import (
@@ -86,7 +86,7 @@ def test_table2_latency(benchmark, results_dir):
         counter["n"] += 1
         return _protected_rw_pair(system, counter["n"])
 
-    benchmark.pedantic(one_pair, rounds=10, iterations=1)
+    benchmark.pedantic(one_pair, rounds=bench_rounds(10), iterations=1)
 
     local_firewalls = [
         fw for fw in security.all_firewalls if fw is not security.ciphering_firewall
@@ -124,3 +124,15 @@ def test_table2_latency(benchmark, results_dir):
         "    ordering (CC faster than IC) is expected to match.\n"
     )
     write_result(results_dir, "table2_latency.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "table2_latency",
+        benchmark,
+        sb_cycles=by_module["SB (LF/LCF)"].measured_cycles,
+        cc_cycles=by_module["CC"].measured_cycles,
+        ic_cycles=by_module["IC"].measured_cycles,
+        cc_ideal_throughput_mbps=by_module["CC"].ideal_throughput_mbps,
+        ic_ideal_throughput_mbps=by_module["IC"].ideal_throughput_mbps,
+        external_reads=len(external_reads),
+        internal_reads=len(internal_reads),
+    )

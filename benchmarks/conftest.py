@@ -1,18 +1,36 @@
 """Shared fixtures for the benchmark harnesses.
 
 Each benchmark regenerates one table/figure of the paper (or one ablation
-called out in its text), asserts the reproduction criteria, and writes the
+called out in its text), asserts the reproduction criteria, writes the
 rendered table to ``benchmarks/results/`` so the numbers can be inspected
-without re-running pytest.
+without re-running pytest, and drops a machine-readable
+``BENCH_<name>.json`` (timing statistics plus key metrics) so CI can archive
+the perf trajectory across PRs.
+
+Setting ``REPRO_BENCH_FAST=1`` switches every benchmark to one timing round
+(the smoke mode the CI benchmark job uses); the reproduction assertions are
+unaffected.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Smoke mode for CI: every benchmark runs a single timing round.
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+def bench_rounds(default: int) -> int:
+    """Timing rounds for a benchmark: ``default`` locally, 1 in fast mode."""
+    return 1 if FAST_MODE else default
 
 
 @pytest.fixture(scope="session")
@@ -26,4 +44,35 @@ def write_result(results_dir: pathlib.Path, name: str, content: str) -> pathlib.
     """Store one rendered result table and return its path."""
     path = results_dir / name
     path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+def _timing_stats(benchmark) -> dict:
+    """Extract timing statistics from a pytest-benchmark fixture, if any ran."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return {}
+    out = {}
+    for field in ("min", "max", "mean", "stddev", "median", "rounds", "iterations"):
+        value = getattr(stats, field, None)
+        if value is not None:
+            out[field] = value
+    return out
+
+
+def write_bench_json(
+    results_dir: pathlib.Path, name: str, benchmark=None, **metrics
+) -> pathlib.Path:
+    """Store ``BENCH_<name>.json``: timing stats plus benchmark-specific
+    key metrics, for CI artifact upload and cross-PR perf tracking."""
+    payload = {
+        "benchmark": name,
+        "fast_mode": FAST_MODE,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "timing_seconds": _timing_stats(benchmark) if benchmark is not None else {},
+        "metrics": metrics,
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

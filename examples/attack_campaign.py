@@ -11,11 +11,16 @@ then prints the resulting detection/prevention matrix:
 * a hijacked DMA engine exfiltrating secrets to unprotected memory,
 * a denial-of-service flood from a hijacked processor.
 
-Run with:  python examples/attack_campaign.py
+The campaign is sharded across worker processes by the parallel
+CampaignRunner; results are identical for any worker count.
+
+Run with:  python examples/attack_campaign.py [--workers N | --serial]
 """
 
+import argparse
+
 from repro.attacks import (
-    AttackCampaign,
+    CampaignRunner,
     DoSFloodAttack,
     ExfiltrationAttack,
     HijackedIPAttack,
@@ -24,20 +29,19 @@ from repro.attacks import (
     SensitiveRegisterProbe,
     SpoofingAttack,
 )
-from repro.attacks.campaign import default_platform_factory
 from repro.core.secure import SecurityConfiguration
 from repro.analysis.tables import format_table
 
 
 def main() -> None:
-    factory = default_platform_factory(
-        security_config=SecurityConfiguration(
-            ddr_secure_size=4096,
-            ddr_cipher_only_size=4096,
-            flood_threshold=20,
-        )
-    )
-    campaign = AttackCampaign(
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per attack, capped)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run everything in-process")
+    args = parser.parse_args()
+
+    runner = CampaignRunner(
         [
             SpoofingAttack(),
             ReplayAttack(),
@@ -47,9 +51,14 @@ def main() -> None:
             ExfiltrationAttack(),
             DoSFloodAttack(n_requests=100),
         ],
-        platform_factory=factory,
+        security_config=SecurityConfiguration(
+            ddr_secure_size=4096,
+            ddr_cipher_only_size=4096,
+            flood_threshold=20,
+        ),
+        n_workers=1 if args.serial else args.workers,
     )
-    report = campaign.run()
+    report = runner.run()
 
     rows = [
         [
@@ -77,6 +86,11 @@ def main() -> None:
           f"({100 * summary['prevention_rate']:.0f}%)")
     print(f"detected           : {summary['detected']} "
           f"({100 * summary['detection_rate']:.0f}%)")
+    print(f"workers            : {report.metrics.get('n_workers', 1)} "
+          f"({report.metrics.get('wall_seconds', 0.0):.2f}s wall)")
+    if report.monitor_totals:
+        print("alerts by violation:",
+              ", ".join(f"{k}={v}" for k, v in sorted(report.monitor_totals.items())))
 
 
 if __name__ == "__main__":

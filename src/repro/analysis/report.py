@@ -5,7 +5,7 @@ tables, and paper-vs-measured comparison records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.tables import format_resource_table, format_table
 from repro.metrics.area import Table1Row

@@ -7,7 +7,7 @@ pandas) keeps the repository runnable in the offline evaluation environment.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 __all__ = ["format_table", "format_resource_table"]
 

@@ -24,6 +24,7 @@ from repro.attacks.memory_attacks import RelocationAttack, ReplayAttack, Spoofin
 from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
 from repro.attacks.dos import DoSFloodAttack
 from repro.attacks.campaign import AttackCampaign, CampaignReport
+from repro.attacks.runner import CampaignRunner, parallel_map
 
 __all__ = [
     "Attack",
@@ -39,4 +40,6 @@ __all__ = [
     "DoSFloodAttack",
     "AttackCampaign",
     "CampaignReport",
+    "CampaignRunner",
+    "parallel_map",
 ]

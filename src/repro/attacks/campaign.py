@@ -65,9 +65,17 @@ class CampaignRow:
 
 @dataclass
 class CampaignReport:
-    """Aggregated campaign results."""
+    """Aggregated campaign results.
+
+    ``monitor_totals`` aggregates the protected-platform SecurityMonitor
+    alert counts per violation type across all runs, and ``metrics`` carries
+    execution metadata (worker count, per-shard timings) when the campaign
+    was produced by :class:`repro.attacks.runner.CampaignRunner`.
+    """
 
     rows: List[CampaignRow] = field(default_factory=list)
+    monitor_totals: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def add(self, row: CampaignRow) -> None:
         self.rows.append(row)

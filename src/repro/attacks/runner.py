@@ -1,0 +1,255 @@
+"""Parallel campaign runner: shard attack batteries across worker processes.
+
+:class:`~repro.attacks.campaign.AttackCampaign` runs its attacks one after the
+other in a single process.  Every attack run is *independent by construction*
+(the campaign builds a fresh platform per attack precisely so that runs cannot
+influence each other), which makes the campaign embarrassingly parallel: this
+module shards the attack list across ``multiprocessing`` workers and merges
+the per-shard results back into one deterministic
+:class:`~repro.attacks.campaign.CampaignReport`.
+
+Design points:
+
+* **Deterministic sharding and seeding.**  Attacks are dealt round-robin to a
+  fixed number of shards; each shard seeds :mod:`random` with a value derived
+  only from ``(base_seed, shard_index)``, so a campaign gives bit-identical
+  rows for any worker count — results are merged back in original attack
+  order.
+* **Merged monitoring.**  Each protected run's :class:`SecurityMonitor` is
+  summarised inside the worker (alert counts per violation type) and the
+  shard summaries are merged into ``CampaignReport.monitor_totals``, so the
+  caller sees the same aggregate picture a single shared monitor would have
+  produced.
+* **Serial fallback.**  ``n_workers=1`` (or a single attack) runs everything
+  in-process with no pickling requirements — the exact semantics of
+  :class:`AttackCampaign` — which is also the deterministic mode CI uses.
+
+The same machinery generalises to workload sweeps: :func:`parallel_map`
+shards any picklable job list across workers with the same deterministic
+per-shard seeding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.attacks.base import Attack
+from repro.attacks.campaign import (
+    CampaignReport,
+    CampaignRow,
+    default_platform_factory,
+)
+from repro.core.secure import SecurityConfiguration
+from repro.soc.system import SoCConfig
+
+__all__ = ["CampaignRunner", "parallel_map", "shard_seed", "default_worker_count"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def shard_seed(base_seed: int, shard_index: int) -> int:
+    """Deterministic per-shard seed (stable across runs and worker counts)."""
+    # splitmix64-style mix so neighbouring shards get unrelated streams.
+    value = (base_seed + 0x9E3779B97F4A7C15 * (shard_index + 1)) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def default_worker_count(n_jobs: int) -> int:
+    """Worker count used when the caller does not pin one."""
+    return max(1, min(n_jobs, os.cpu_count() or 1, 8))
+
+
+# ---------------------------------------------------------------------------
+# Generic sharded map (used for workload sweeps as well as campaigns)
+# ---------------------------------------------------------------------------
+
+
+def _run_map_shard(payload: Tuple[Callable, int, int, List[Tuple[int, object]]]) -> List[Tuple[int, object]]:
+    fn, base_seed, shard_index, items = payload
+    random.seed(shard_seed(base_seed, shard_index))
+    return [(index, fn(item)) for index, item in items]
+
+
+def _deal_round_robin(n_items: int, n_shards: int) -> List[List[int]]:
+    shards: List[List[int]] = [[] for _ in range(n_shards)]
+    for index in range(n_items):
+        shards[index % n_shards].append(index)
+    return [shard for shard in shards if shard]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: Optional[int] = None,
+    base_seed: int = 0,
+) -> List[R]:
+    """Apply ``fn`` to every item, sharded across worker processes.
+
+    Results come back in input order regardless of scheduling.  ``fn`` and the
+    items must be picklable when more than one worker is used; each shard
+    seeds :mod:`random` deterministically from ``(base_seed, shard_index)``.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = n_workers if n_workers is not None else default_worker_count(len(items))
+    workers = max(1, min(workers, len(items)))
+
+    if workers == 1:
+        random.seed(shard_seed(base_seed, 0))
+        return [fn(item) for item in items]
+
+    shards = _deal_round_robin(len(items), workers)
+    payloads = [
+        (fn, base_seed, shard_index, [(i, items[i]) for i in indices])
+        for shard_index, indices in enumerate(shards)
+    ]
+    with multiprocessing.Pool(processes=len(payloads)) as pool:
+        shard_results = pool.map(_run_map_shard, payloads)
+    ordered: List[Tuple[int, R]] = [pair for shard in shard_results for pair in shard]
+    ordered.sort(key=lambda pair: pair[0])
+    return [result for _, result in ordered]
+
+
+# ---------------------------------------------------------------------------
+# Campaign sharding
+# ---------------------------------------------------------------------------
+
+
+def _run_campaign_shard(
+    payload: Tuple[int, int, List[Tuple[int, Attack]], Optional[SoCConfig], Optional[SecurityConfiguration]],
+) -> Tuple[int, float, List[Tuple[int, CampaignRow, Dict[str, int]]]]:
+    """Run one shard's attacks on fresh platforms; returns indexed rows plus
+    the per-attack protected-monitor summaries."""
+    shard_index, base_seed, attack_items, soc_config, security_config = payload
+    random.seed(shard_seed(base_seed, shard_index))
+    factory = default_platform_factory(soc_config, security_config)
+    started = time.perf_counter()
+    out: List[Tuple[int, CampaignRow, Dict[str, int]]] = []
+    for index, attack in attack_items:
+        system_plain, _ = factory(False)
+        unprotected_result = attack.run(system_plain, None)
+
+        system_secure, security = factory(True)
+        protected_result = attack.run(system_secure, security)
+
+        violations: Dict[str, int] = {}
+        if security is not None:
+            violations = {
+                violation.value: count
+                for violation, count in security.monitor.alerts_by_violation().items()
+            }
+        out.append(
+            (
+                index,
+                CampaignRow(
+                    attack=attack.name,
+                    goal=attack.goal,
+                    unprotected=unprotected_result,
+                    protected=protected_result,
+                ),
+                violations,
+            )
+        )
+    return shard_index, time.perf_counter() - started, out
+
+
+class CampaignRunner:
+    """Shard an attack campaign across ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    attacks:
+        Attack instances to run.  They must be picklable when more than one
+        worker is used (the stock attacks all are).
+    soc_config / security_config:
+        Platform configuration rebuilt inside each worker via
+        :func:`default_platform_factory` — configurations are shipped to the
+        workers instead of factory closures, which do not pickle.
+    n_workers:
+        Worker processes; ``None`` picks :func:`default_worker_count`, ``1``
+        forces the serial in-process path.
+    base_seed:
+        Root of the deterministic per-shard seeding.
+    """
+
+    def __init__(
+        self,
+        attacks: Sequence[Attack],
+        soc_config: Optional[SoCConfig] = None,
+        security_config: Optional[SecurityConfiguration] = None,
+        n_workers: Optional[int] = None,
+        base_seed: int = 0,
+    ) -> None:
+        if not attacks:
+            raise ValueError("campaign needs at least one attack")
+        self.attacks = list(attacks)
+        self.soc_config = soc_config
+        self.security_config = security_config
+        self.n_workers = n_workers
+        self.base_seed = base_seed
+
+    def _payloads(self, workers: int):
+        shards = _deal_round_robin(len(self.attacks), workers)
+        return [
+            (
+                shard_index,
+                self.base_seed,
+                [(i, self.attacks[i]) for i in indices],
+                self.soc_config,
+                self.security_config,
+            )
+            for shard_index, indices in enumerate(shards)
+        ]
+
+    def run(self) -> CampaignReport:
+        """Execute every attack on both platform variants and merge results."""
+        workers = (
+            self.n_workers
+            if self.n_workers is not None
+            else default_worker_count(len(self.attacks))
+        )
+        workers = max(1, min(workers, len(self.attacks)))
+        started = time.perf_counter()
+
+        if workers == 1:
+            shard_results = [_run_campaign_shard(self._payloads(1)[0])]
+        else:
+            with multiprocessing.Pool(processes=workers) as pool:
+                shard_results = pool.map(_run_campaign_shard, self._payloads(workers))
+
+        indexed: List[Tuple[int, CampaignRow, Dict[str, int]]] = []
+        shard_metrics = []
+        for shard_index, seconds, rows in shard_results:
+            shard_metrics.append(
+                {
+                    "shard": shard_index,
+                    "seed": shard_seed(self.base_seed, shard_index),
+                    "attacks": len(rows),
+                    "seconds": seconds,
+                }
+            )
+        for _, _, rows in shard_results:
+            indexed.extend(rows)
+        indexed.sort(key=lambda entry: entry[0])
+
+        report = CampaignReport()
+        for _, row, violations in indexed:
+            report.add(row)
+            for violation, count in violations.items():
+                report.monitor_totals[violation] = (
+                    report.monitor_totals.get(violation, 0) + count
+                )
+        report.metrics = {
+            "n_workers": workers,
+            "wall_seconds": time.perf_counter() - started,
+            "shards": sorted(shard_metrics, key=lambda m: m["shard"]),
+        }
+        return report

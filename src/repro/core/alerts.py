@@ -12,8 +12,8 @@ against, and the trigger for the reaction policies implemented by
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["ViolationType", "Severity", "SecurityAlert", "SecurityMonitor"]
 

@@ -29,7 +29,7 @@ what an attacker probing the external bus or the memory chips sees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.alerts import SecurityMonitor, ViolationType
 from repro.core.constants import (
@@ -39,13 +39,13 @@ from repro.core.constants import (
     SECURITY_BUILDER_CYCLES,
 )
 from repro.core.local_firewall import LocalFirewall
-from repro.core.policy import ConfigurationMemory, PolicyRule, SecurityPolicy
+from repro.core.policy import ConfigurationMemory, PolicyRule
 from repro.crypto.aes import AES128
 from repro.crypto.keys import KeyStore
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.modes import CTRMode
 from repro.soc.kernel import Simulator
-from repro.soc.ports import FilterResult, TransactionFilter
+from repro.soc.ports import FilterResult
 from repro.soc.transaction import BusTransaction, TransactionStatus
 
 __all__ = ["ConfidentialityCore", "IntegrityCore", "ProtectedRegion", "LocalCipheringFirewall"]
@@ -195,6 +195,9 @@ class LocalCipheringFirewall(LocalFirewall):
 
     name = "local_ciphering_firewall"
 
+    #: Upper bound on memoised region lookups before the memo is reset.
+    REGION_CACHE_LIMIT = 65536
+
     def __init__(
         self,
         sim: Simulator,
@@ -225,6 +228,12 @@ class LocalCipheringFirewall(LocalFirewall):
         self.confidentiality_core = ConfidentialityCore(f"{name}.cc", cc_cycles_per_block)
         self.integrity_core = IntegrityCore(f"{name}.ic", ic_cycles_per_block)
         self._regions: Dict[int, ProtectedRegion] = {}  # keyed by rule base
+        # Memoised region_for() answers; every protected transaction performs
+        # this lookup on both the request and the response path, so the scan
+        # over regions is worth caching.  Invalidated when the Configuration
+        # Memory's rule set changes.
+        self._region_cache: Dict[Tuple[int, int], Optional[ProtectedRegion]] = {}
+        self._region_cache_generation = config_memory.generation
         self._build_regions()
 
     # -- region setup -------------------------------------------------------------------
@@ -277,11 +286,24 @@ class LocalCipheringFirewall(LocalFirewall):
         return initialised
 
     def region_for(self, address: int, size: int = 1) -> Optional[ProtectedRegion]:
-        """The protected region covering an address range, if any."""
+        """The protected region covering an address range, if any (memoised)."""
+        if self.config_memory.generation != self._region_cache_generation:
+            self._region_cache.clear()
+            self._region_cache_generation = self.config_memory.generation
+        key = (address, size)
+        try:
+            return self._region_cache[key]
+        except KeyError:
+            pass
+        found: Optional[ProtectedRegion] = None
         for region in self._regions.values():
             if region.rule.covers(address, size):
-                return region
-        return None
+                found = region
+                break
+        if len(self._region_cache) >= self.REGION_CACHE_LIMIT:
+            self._region_cache.clear()
+        self._region_cache[key] = found
+        return found
 
     @property
     def protected_regions(self) -> List[ProtectedRegion]:

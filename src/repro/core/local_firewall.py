@@ -24,12 +24,16 @@ blocks of the paper's Figure 1:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.alerts import SecurityAlert, SecurityMonitor, ViolationType
 from repro.core.checks import (
     AddressRangeCheck,
+    BurstLengthCheck,
     CheckResult,
+    DataFormatCheck,
+    ReadWriteAccessCheck,
     SecurityCheck,
     default_check_suite,
 )
@@ -56,12 +60,38 @@ class CommunicationBlock:
         txn.annotations.setdefault("secpol_req_by", self.name)
 
 
+# Checking modules whose verdict is a pure function of (policy, transaction
+# attributes, address windows) — the precondition for memoising decisions.
+_STATELESS_CHECKS = (
+    ReadWriteAccessCheck,
+    DataFormatCheck,
+    BurstLengthCheck,
+    AddressRangeCheck,
+)
+
+
 class SecurityBuilder:
     """Security Builder: policy fetch plus the checking modules.
 
     Charges :data:`~repro.core.constants.SECURITY_BUILDER_CYCLES` per
     evaluation, matching Table II.
+
+    Verdicts are memoised: the decision for a transaction depends only on the
+    installed rules and the transaction's (address, size, direction, width,
+    burst length), so repeated traffic with the same shape — the bulk of any
+    workload sweep — skips the policy scan and the checking modules entirely.
+    The cache is invalidated whenever the Configuration Memory's rule set
+    changes (tracked via its ``generation`` counter), so runtime
+    reconfiguration takes effect on the very next transaction, exactly as in
+    the uncached model.  All statistics (evaluations, violations, lookup and
+    miss counts, cycles charged) are maintained identically on hits and
+    misses.  Caching is automatically disabled when custom, potentially
+    stateful checking modules are installed.
     """
+
+    #: Upper bound on memoised verdicts before the cache is reset (guards
+    #: address-sweeping workloads against unbounded growth).
+    CACHE_LIMIT = 65536
 
     def __init__(
         self,
@@ -69,6 +99,7 @@ class SecurityBuilder:
         config_memory: ConfigurationMemory,
         checks: Optional[Sequence[SecurityCheck]] = None,
         latency_cycles: int = SECURITY_BUILDER_CYCLES,
+        cache_decisions: bool = True,
     ) -> None:
         self.name = name
         self.config_memory = config_memory
@@ -77,6 +108,25 @@ class SecurityBuilder:
         self.evaluations = 0
         self.violations = 0
         self.cycles_charged = 0
+        self.cache_enabled = cache_decisions and all(
+            type(check) in _STATELESS_CHECKS for check in self.checks
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: Dict[tuple, Tuple[Optional[SecurityPolicy], List[CheckResult], bool, bool]] = {}
+        self._cache_generation = config_memory.generation
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoised verdict (e.g. after mutating a checking module)."""
+        self._cache.clear()
+        self._cache_generation = self.config_memory.generation
+
+    def _windows_signature(self) -> tuple:
+        """Hashable snapshot of the address-range windows (quarantine fences)."""
+        for check in self.checks:
+            if isinstance(check, AddressRangeCheck) and check.windows:
+                return tuple(tuple(window) for window in check.windows)
+        return ()
 
     def evaluate(
         self, txn: BusTransaction, charge_latency: bool = True
@@ -91,17 +141,57 @@ class SecurityBuilder:
         if charge_latency:
             self.evaluations += 1
             self.cycles_charged += self.latency_cycles
+
+        if not self.cache_enabled:
+            return self._evaluate_uncached(txn)[:2]
+
+        if self.config_memory.generation != self._cache_generation:
+            self.invalidate_cache()
+
+        key = (
+            txn.address,
+            txn.size,
+            txn.is_write,
+            txn.width,
+            txn.burst_length,
+            self._windows_signature(),
+        )
+        hit = self._cache.get(key)
+        if hit is not None:
+            policy, results, failed, missed_rules = hit
+            self.cache_hits += 1
+            self.config_memory.note_cached_lookup(missed_rules)
+            if failed:
+                self.violations += 1
+            return policy, results
+
+        self.cache_misses += 1
+        policy, results, failed, missed_rules = self._evaluate_uncached(txn)
+        if len(self._cache) >= self.CACHE_LIMIT:
+            self._cache.clear()
+        self._cache[key] = (policy, results, failed, missed_rules)
+        return policy, results
+
+    def _evaluate_uncached(
+        self, txn: BusTransaction
+    ) -> Tuple[Optional[SecurityPolicy], List[CheckResult], bool, bool]:
+        """The original evaluation path; also reports (failed, missed_rules)
+        so the cache can replay statistics faithfully."""
+        misses_before = self.config_memory.miss_count
         try:
             policy = self.config_memory.lookup(txn.address, txn.size)
         except PolicyLookupError as exc:
             self.violations += 1
-            return None, [
+            results = [
                 CheckResult.fail("policy_lookup", ViolationType.POLICY_MISS, detail=str(exc))
             ]
+            return None, results, True, True
+        missed_rules = self.config_memory.miss_count > misses_before
         results = [check.check(policy, txn) for check in self.checks]
-        if any(not result.passed for result in results):
+        failed = any(not result.passed for result in results)
+        if failed:
             self.violations += 1
-        return policy, results
+        return policy, results, failed, missed_rules
 
     def address_range_check(self) -> Optional[AddressRangeCheck]:
         """The address-range checking module, if instantiated (used by the
@@ -186,7 +276,7 @@ class LocalFirewall(TransactionFilter):
         self.flood_threshold = flood_threshold
         self.flood_window = flood_window
         self.flood_block = flood_block
-        self._request_cycles: List[int] = []
+        self._request_cycles: Deque[int] = deque()
 
         self.quarantined = False
         self.alerts_raised = 0
@@ -224,7 +314,7 @@ class LocalFirewall(TransactionFilter):
         # Drop entries that fell out of the sliding window.
         cutoff = now - self.flood_window
         while self._request_cycles and self._request_cycles[0] < cutoff:
-            self._request_cycles.pop(0)
+            self._request_cycles.popleft()
         return len(self._request_cycles) > self.flood_threshold
 
     # -- TransactionFilter interface ----------------------------------------------------------
@@ -307,6 +397,8 @@ class LocalFirewall(TransactionFilter):
             "sb_cycles_charged": self.security_builder.cycles_charged,
             "passed": self.firewall_interface.passed,
             "discarded": self.firewall_interface.discarded,
+            "sb_cache_hits": self.security_builder.cache_hits,
+            "sb_cache_misses": self.security_builder.cache_misses,
             "alerts": self.alerts_raised,
             "rules": len(self.config_memory),
             "quarantined": self.quarantined,

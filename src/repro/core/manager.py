@@ -21,7 +21,7 @@ work); it only *observes* alerts through the :class:`SecurityMonitor` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.alerts import SecurityAlert, SecurityMonitor, Severity, ViolationType

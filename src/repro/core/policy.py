@@ -20,8 +20,8 @@ ranges to policies; the Security Builder queries it on every transaction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 __all__ = [
     "ReadWriteAccess",
@@ -209,11 +209,15 @@ class ConfigurationMemory:
             raise ValueError("capacity must be >= 1")
         self.name = name
         self.capacity = capacity
-        self.default_policy = default_policy
+        self._default_policy = default_policy
         self._rules: List[PolicyRule] = []
         self.lookup_count = 0
         self.miss_count = 0
         self.reconfiguration_count = 0
+        # Monotonic counter bumped on every rule change; decision caches in
+        # the firewalls compare it to know when their memoised verdicts are
+        # stale.  Anything that mutates the rule set MUST bump it.
+        self.generation = 0
 
     # -- rule management ---------------------------------------------------------
 
@@ -231,6 +235,7 @@ class ConfigurationMemory:
                 )
         self._rules.append(rule)
         self._rules.sort(key=lambda r: r.base)
+        self.generation += 1
         return rule
 
     def add(
@@ -249,6 +254,7 @@ class ConfigurationMemory:
             if rule.base == base:
                 del self._rules[index]
                 self.reconfiguration_count += 1
+                self.generation += 1
                 return True
         return False
 
@@ -260,10 +266,38 @@ class ConfigurationMemory:
                     base=rule.base, size=rule.size, policy=policy, label=rule.label
                 )
                 self.reconfiguration_count += 1
+                self.generation += 1
                 return True
         return False
 
+    @property
+    def default_policy(self) -> Optional[SecurityPolicy]:
+        """Policy applied when no rule matches (None = default-deny)."""
+        return self._default_policy
+
+    @default_policy.setter
+    def default_policy(self, policy: Optional[SecurityPolicy]) -> None:
+        # Assigning the fallback changes lookup outcomes, so it must
+        # invalidate the firewalls' decision caches like any rule change.
+        self._default_policy = policy
+        self.generation += 1
+
+    def set_default_policy(self, policy: Optional[SecurityPolicy]) -> None:
+        """Change the fallback policy (counts as a reconfiguration)."""
+        self.default_policy = policy
+        self.reconfiguration_count += 1
+
     # -- lookup -------------------------------------------------------------------
+
+    def note_cached_lookup(self, missed: bool = False) -> None:
+        """Account for a lookup served from a firewall's decision cache.
+
+        Keeps ``lookup_count``/``miss_count`` identical to an uncached run, so
+        reports and experiments see the same statistics regardless of caching.
+        """
+        self.lookup_count += 1
+        if missed:
+            self.miss_count += 1
 
     def lookup(self, address: int, size: int = 1) -> SecurityPolicy:
         """Find the policy governing ``[address, address+size)``.

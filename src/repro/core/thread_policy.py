@@ -20,7 +20,6 @@ or transactions without a ``thread_id``, behave exactly like the base design
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.alerts import ViolationType

@@ -6,9 +6,20 @@ IV-B2).  This module implements the FIPS-197 cipher for 128-bit keys from
 scratch: S-box construction from the finite-field inverse, key expansion, the
 four round transformations and their inverses.
 
-The implementation favours clarity over raw speed (the guides' "make it work,
-make it right" rule); the hot path used by the simulator encrypts 16-byte
-blocks, which is plenty fast in pure Python for the workloads exercised here.
+Two code paths share the same key schedule:
+
+* the *reference* path (:meth:`AES128.encrypt_block_reference` /
+  :meth:`AES128.decrypt_block_reference`) applies the four round
+  transformations exactly as FIPS-197 writes them, one byte at a time, so
+  every intermediate step stays inspectable;
+* the *table-driven* path (used by :meth:`AES128.encrypt_block` /
+  :meth:`AES128.decrypt_block`) folds SubBytes, ShiftRows and MixColumns of
+  one round into four 256-entry 32-bit T-table lookups per state column —
+  the classic software formulation of the cipher, and the same
+  precompute-then-look-up structure a hardware pipeline uses.  Both paths
+  produce identical ciphertext (asserted byte-for-byte by the fast-path
+  regression tests).
+
 Throughput of the *hardware* core is modelled separately in
 :mod:`repro.metrics.latency`.
 """
@@ -106,6 +117,24 @@ _MUL11 = tuple(gmul(x, 11) for x in range(256))
 _MUL13 = tuple(gmul(x, 13) for x in range(256))
 _MUL14 = tuple(gmul(x, 14) for x in range(256))
 
+# T-tables: one round's SubBytes + MixColumns contribution of a single state
+# byte, as a packed 32-bit column word.  T1..T3 are byte rotations of T0 (and
+# likewise for the decryption tables), matching the classic software AES.
+_TE0 = tuple(
+    (_MUL2[s] << 24) | (s << 16) | (s << 8) | _MUL3[s] for s in SBOX
+)
+_TE1 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TE0)
+_TE2 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TE1)
+_TE3 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TE2)
+
+_TD0 = tuple(
+    (_MUL14[s] << 24) | (_MUL9[s] << 16) | (_MUL13[s] << 8) | _MUL11[s]
+    for s in INV_SBOX
+)
+_TD1 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TD0)
+_TD2 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TD1)
+_TD3 = tuple(((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in _TD2)
+
 
 class AES128:
     """AES with a 128-bit key (10 rounds), operating on 16-byte blocks.
@@ -136,6 +165,40 @@ class AES128:
             )
         self._key = bytes(key)
         self._round_keys = self._expand_key(self._key)
+        # Packed 32-bit round-key words for the table-driven path: one word
+        # per state column, rounds 0..10 in order.
+        self._rk_enc: Tuple[int, ...] = tuple(
+            (w[0] << 24) | (w[1] << 16) | (w[2] << 8) | w[3] for w in self._round_keys
+        )
+        self._rk_dec = self._expand_decryption_keys(self._rk_enc)
+
+    @staticmethod
+    def _expand_decryption_keys(rk_enc: Sequence[int]) -> Tuple[int, ...]:
+        """Key schedule of the equivalent inverse cipher (FIPS-197 §5.3.5).
+
+        Round keys are consumed in reverse order, with InvMixColumns applied
+        to the inner rounds so decryption can use the same
+        table-lookup-per-column structure as encryption.
+        """
+        words: List[int] = []
+        for round_index in range(AES128.ROUNDS, -1, -1):
+            for column in range(4):
+                word = rk_enc[4 * round_index + column]
+                if 0 < round_index < AES128.ROUNDS:
+                    a0, a1, a2, a3 = (
+                        word >> 24,
+                        (word >> 16) & 0xFF,
+                        (word >> 8) & 0xFF,
+                        word & 0xFF,
+                    )
+                    word = (
+                        ((_MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]) << 24)
+                        | ((_MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]) << 16)
+                        | ((_MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]) << 8)
+                        | (_MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3])
+                    )
+                words.append(word)
+        return tuple(words)
 
     # -- key schedule -------------------------------------------------------
 
@@ -243,9 +306,77 @@ class AES128:
             state[4 * col : 4 * col + 4] = cls._inv_mix_single_column(column)
 
     # -- public block API ----------------------------------------------------
+    #
+    # encrypt_block/decrypt_block are the table-driven hot path; the
+    # *_reference variants spell out the FIPS-197 round transformations and
+    # are the ground truth the fast path is tested against.
 
     def encrypt_block(self, block: bytes) -> bytes:
-        """Encrypt exactly one 16-byte block."""
+        """Encrypt exactly one 16-byte block (table-driven fast path)."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
+            )
+        rk = self._rk_enc
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        c0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        c1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        c2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        c3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        for k in range(4, 40, 4):
+            t0 = te0[c0 >> 24] ^ te1[(c1 >> 16) & 0xFF] ^ te2[(c2 >> 8) & 0xFF] ^ te3[c3 & 0xFF] ^ rk[k]
+            t1 = te0[c1 >> 24] ^ te1[(c2 >> 16) & 0xFF] ^ te2[(c3 >> 8) & 0xFF] ^ te3[c0 & 0xFF] ^ rk[k + 1]
+            t2 = te0[c2 >> 24] ^ te1[(c3 >> 16) & 0xFF] ^ te2[(c0 >> 8) & 0xFF] ^ te3[c1 & 0xFF] ^ rk[k + 2]
+            t3 = te0[c3 >> 24] ^ te1[(c0 >> 16) & 0xFF] ^ te2[(c1 >> 8) & 0xFF] ^ te3[c2 & 0xFF] ^ rk[k + 3]
+            c0, c1, c2, c3 = t0, t1, t2, t3
+        sbox = SBOX
+        o0 = ((sbox[c0 >> 24] << 24) | (sbox[(c1 >> 16) & 0xFF] << 16)
+              | (sbox[(c2 >> 8) & 0xFF] << 8) | sbox[c3 & 0xFF]) ^ rk[40]
+        o1 = ((sbox[c1 >> 24] << 24) | (sbox[(c2 >> 16) & 0xFF] << 16)
+              | (sbox[(c3 >> 8) & 0xFF] << 8) | sbox[c0 & 0xFF]) ^ rk[41]
+        o2 = ((sbox[c2 >> 24] << 24) | (sbox[(c3 >> 16) & 0xFF] << 16)
+              | (sbox[(c0 >> 8) & 0xFF] << 8) | sbox[c1 & 0xFF]) ^ rk[42]
+        o3 = ((sbox[c3 >> 24] << 24) | (sbox[(c0 >> 16) & 0xFF] << 16)
+              | (sbox[(c1 >> 8) & 0xFF] << 8) | sbox[c2 & 0xFF]) ^ rk[43]
+        return (
+            o0.to_bytes(4, "big") + o1.to_bytes(4, "big")
+            + o2.to_bytes(4, "big") + o3.to_bytes(4, "big")
+        )
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block (table-driven fast path)."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ValueError(
+                f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
+            )
+        rk = self._rk_dec
+        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        c0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        c1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        c2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        c3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        for k in range(4, 40, 4):
+            t0 = td0[c0 >> 24] ^ td1[(c3 >> 16) & 0xFF] ^ td2[(c2 >> 8) & 0xFF] ^ td3[c1 & 0xFF] ^ rk[k]
+            t1 = td0[c1 >> 24] ^ td1[(c0 >> 16) & 0xFF] ^ td2[(c3 >> 8) & 0xFF] ^ td3[c2 & 0xFF] ^ rk[k + 1]
+            t2 = td0[c2 >> 24] ^ td1[(c1 >> 16) & 0xFF] ^ td2[(c0 >> 8) & 0xFF] ^ td3[c3 & 0xFF] ^ rk[k + 2]
+            t3 = td0[c3 >> 24] ^ td1[(c2 >> 16) & 0xFF] ^ td2[(c1 >> 8) & 0xFF] ^ td3[c0 & 0xFF] ^ rk[k + 3]
+            c0, c1, c2, c3 = t0, t1, t2, t3
+        inv_sbox = INV_SBOX
+        o0 = ((inv_sbox[c0 >> 24] << 24) | (inv_sbox[(c3 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(c2 >> 8) & 0xFF] << 8) | inv_sbox[c1 & 0xFF]) ^ rk[40]
+        o1 = ((inv_sbox[c1 >> 24] << 24) | (inv_sbox[(c0 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(c3 >> 8) & 0xFF] << 8) | inv_sbox[c2 & 0xFF]) ^ rk[41]
+        o2 = ((inv_sbox[c2 >> 24] << 24) | (inv_sbox[(c1 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(c0 >> 8) & 0xFF] << 8) | inv_sbox[c3 & 0xFF]) ^ rk[42]
+        o3 = ((inv_sbox[c3 >> 24] << 24) | (inv_sbox[(c2 >> 16) & 0xFF] << 16)
+              | (inv_sbox[(c1 >> 8) & 0xFF] << 8) | inv_sbox[c0 & 0xFF]) ^ rk[43]
+        return (
+            o0.to_bytes(4, "big") + o1.to_bytes(4, "big")
+            + o2.to_bytes(4, "big") + o3.to_bytes(4, "big")
+        )
+
+    def encrypt_block_reference(self, block: bytes) -> bytes:
+        """Encrypt one block via the byte-wise FIPS-197 round functions."""
         if len(block) != self.BLOCK_SIZE:
             raise ValueError(
                 f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
@@ -262,8 +393,8 @@ class AES128:
         self._add_round_key(state, self.ROUNDS)
         return self._state_to_bytes(state)
 
-    def decrypt_block(self, block: bytes) -> bytes:
-        """Decrypt exactly one 16-byte block."""
+    def decrypt_block_reference(self, block: bytes) -> bytes:
+        """Decrypt one block via the byte-wise FIPS-197 round functions."""
         if len(block) != self.BLOCK_SIZE:
             raise ValueError(
                 f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"

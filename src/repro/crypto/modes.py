@@ -18,6 +18,7 @@ object exposing ``encrypt_block``/``decrypt_block``/``BLOCK_SIZE``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Protocol
 
 __all__ = [
@@ -47,7 +48,9 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} != {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    # One wide integer XOR instead of a per-byte Python loop.
+    n = len(a)
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(n, "big")
 
 
 def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
@@ -149,11 +152,25 @@ class CTRMode:
     its neighbours; the Local Ciphering Firewall derives the counter from the
     block's physical address and its timestamp tag, which is also what defeats
     replay and relocation of ciphertext (see the paper's section IV-A).
+
+    Because the keystream depends only on (key, counter block) — never on the
+    data — each generated keystream block is memoised in a bounded LRU cache.
+    The LCF re-reads protected blocks far more often than it rewrites them
+    (every read and every read-modify-write re-derives the same nonce until
+    the version tag bumps), so the AES core is only exercised on genuinely new
+    counter blocks.  Pass ``cache_blocks=False`` to disable the cache.
     """
 
-    def __init__(self, cipher: BlockCipher) -> None:
+    #: Upper bound on memoised keystream blocks (16 bytes each).
+    CACHE_LIMIT = 4096
+
+    def __init__(self, cipher: BlockCipher, cache_blocks: bool = True) -> None:
         self._cipher = cipher
         self._block = cipher.BLOCK_SIZE
+        self._cache_blocks = cache_blocks
+        self._keystream_cache: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @staticmethod
     def make_counter_block(nonce: bytes, counter: int, block_size: int = 16) -> bytes:
@@ -166,6 +183,23 @@ class CTRMode:
             raise ValueError("counter out of range")
         return nonce + counter.to_bytes(block_size - len(nonce), "big")
 
+    def _keystream_block(self, counter_block: bytes) -> bytes:
+        """One keystream block, served from the LRU cache when possible."""
+        if not self._cache_blocks:
+            return self._cipher.encrypt_block(counter_block)
+        cache = self._keystream_cache
+        cached = cache.get(counter_block)
+        if cached is not None:
+            self.cache_hits += 1
+            cache.move_to_end(counter_block)
+            return cached
+        self.cache_misses += 1
+        stream = self._cipher.encrypt_block(counter_block)
+        cache[counter_block] = stream
+        if len(cache) > self.CACHE_LIMIT:
+            cache.popitem(last=False)
+        return stream
+
     def keystream(self, nonce: bytes, length: int, initial_counter: int = 0) -> bytes:
         """Generate ``length`` keystream bytes starting at ``initial_counter``."""
         if length < 0:
@@ -174,7 +208,7 @@ class CTRMode:
         counter = initial_counter
         while len(out) < length:
             counter_block = self.make_counter_block(nonce, counter, self._block)
-            out += self._cipher.encrypt_block(counter_block)
+            out += self._keystream_block(counter_block)
             counter += 1
         return bytes(out[:length])
 

@@ -16,7 +16,6 @@ that purpose:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 __all__ = ["ReplayDetected", "TimestampManager", "NonceManager"]

@@ -1,19 +1,40 @@
-"""SHA-256 implemented from scratch (FIPS 180-4).
+"""SHA-256 (FIPS 180-4): reference implementation plus a fast backend.
 
 The Integrity Core of the Local Ciphering Firewall is "based on hash-trees"
 (paper, section IV-B2).  The hash function at the leaves and interior nodes of
-that tree is provided here.  The implementation follows the standard
-Merkle–Damgård construction with the SHA-256 compression function; it is kept
-self-contained (no :mod:`hashlib`) so the whole reproduction is buildable from
-first principles and the compression-function internals can be instrumented by
-the latency model.
+that tree is provided here.  :class:`SHA256` follows the standard
+Merkle–Damgård construction with the SHA-256 compression function, implemented
+from first principles so the compression-function internals can be
+instrumented by the latency model and audited against the spec.
+
+The one-shot :func:`sha256` helper is the simulator's hot path (every
+hash-tree leaf and node goes through it), so by default it dispatches to
+:mod:`hashlib`'s C implementation, which computes the exact same digest.  Call
+:func:`use_reference_backend` to force the pure-Python path (used by the
+fast-path regression tests to prove both backends agree byte-for-byte).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+import hashlib as _hashlib
+from typing import List
 
-__all__ = ["SHA256", "sha256"]
+__all__ = ["SHA256", "sha256", "use_reference_backend", "fast_backend_enabled"]
+
+# When True, sha256() uses hashlib's C core; the digests are identical to the
+# reference implementation (asserted by tests/test_perf_fastpath.py).
+_USE_FAST_BACKEND = True
+
+
+def use_reference_backend(enabled: bool = True) -> None:
+    """Force (or release) the pure-Python reference path for :func:`sha256`."""
+    global _USE_FAST_BACKEND
+    _USE_FAST_BACKEND = not enabled
+
+
+def fast_backend_enabled() -> bool:
+    """Whether :func:`sha256` currently dispatches to :mod:`hashlib`."""
+    return _USE_FAST_BACKEND
 
 
 def _rotr(value: int, amount: int) -> int:
@@ -157,5 +178,11 @@ class SHA256:
 
 
 def sha256(data: bytes) -> bytes:
-    """One-shot SHA-256 digest of ``data``."""
+    """One-shot SHA-256 digest of ``data``.
+
+    Uses the :mod:`hashlib` fast backend unless :func:`use_reference_backend`
+    selected the pure-Python implementation; both produce identical digests.
+    """
+    if _USE_FAST_BACKEND:
+        return _hashlib.sha256(data).digest()
     return SHA256(data).digest()

@@ -15,11 +15,11 @@ thin wrappers around :func:`measure_execution_overhead`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.core.secure import SecuredPlatform, SecurityConfiguration, secure_platform
-from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
+from repro.core.secure import SecurityConfiguration, secure_platform
+from repro.soc.system import SoCConfig, build_reference_platform
 from repro.soc.processor import ProcessorProgram
 
 __all__ = ["WorkloadRunResult", "OverheadResult", "run_workload", "measure_execution_overhead"]
@@ -84,9 +84,9 @@ def run_workload(
 ) -> WorkloadRunResult:
     """Build a fresh platform, load ``programs`` and run to completion."""
     system = build_reference_platform(soc_config)
-    security: Optional[SecuredPlatform] = None
     if protected:
-        security = secure_platform(system, security_config or SecurityConfiguration())
+        # Attaches the firewalls to the system's ports as a side effect.
+        secure_platform(system, security_config or SecurityConfiguration())
 
     system.load_programs(programs)
     system.start_all()

@@ -9,7 +9,7 @@ policy governs a target address.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["AddressRegion", "AddressMap", "DecodeError"]
@@ -79,9 +79,16 @@ class AddressRegion:
 class AddressMap:
     """Ordered collection of non-overlapping address regions."""
 
+    #: Upper bound on memoised decode answers before the memo is reset.
+    DECODE_CACHE_LIMIT = 65536
+
     def __init__(self) -> None:
         self._regions: List[AddressRegion] = []
         self._by_name: Dict[str, AddressRegion] = {}
+        # Memoised decode() answers.  The region list is fixed once the
+        # platform is built, while the bus decodes the same (address, size)
+        # pairs over and over; the memo is dropped whenever a region is added.
+        self._decode_cache: Dict[Tuple[int, int], AddressRegion] = {}
 
     def add(self, region: AddressRegion) -> AddressRegion:
         """Register a region, rejecting overlaps and duplicate names."""
@@ -96,6 +103,7 @@ class AddressMap:
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
         self._by_name[region.name] = region
+        self._decode_cache.clear()
         return region
 
     def add_region(
@@ -118,8 +126,15 @@ class AddressMap:
         surfaces as a decode-error response (and which an unprotected system
         happily lets an attacker probe for).
         """
+        key = (address, size)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
         for region in self._regions:
             if region.contains(address, size):
+                if len(self._decode_cache) >= self.DECODE_CACHE_LIMIT:
+                    self._decode_cache.clear()
+                self._decode_cache[key] = region
                 return region
         raise DecodeError(address)
 

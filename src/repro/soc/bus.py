@@ -52,10 +52,12 @@ class RoundRobinArbiter(Arbiter):
 
     def __init__(self) -> None:
         self._order: List[str] = []
+        self._index: Dict[str, int] = {}
         self._last_granted: Optional[str] = None
 
     def add_master(self, master: str) -> None:
-        if master not in self._order:
+        if master not in self._index:
+            self._index[master] = len(self._order)
             self._order.append(master)
 
     def select(self, waiting: Dict[str, Deque]) -> Optional[str]:
@@ -63,8 +65,9 @@ class RoundRobinArbiter(Arbiter):
             return None
         n = len(self._order)
         start = 0
-        if self._last_granted in self._order:
-            start = (self._order.index(self._last_granted) + 1) % n
+        last = self._index.get(self._last_granted) if self._last_granted is not None else None
+        if last is not None:
+            start = (last + 1) % n
         for offset in range(n):
             candidate = self._order[(start + offset) % n]
             if waiting.get(candidate):

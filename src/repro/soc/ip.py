@@ -15,7 +15,6 @@ Two concrete models are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.soc.kernel import Component, Simulator

@@ -28,7 +28,7 @@ Filters can:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.soc.kernel import Component, Simulator

@@ -15,8 +15,8 @@ every experiment sweep is reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.soc.processor import MemoryOperation, ProcessorProgram
 from repro.soc.system import SoCConfig

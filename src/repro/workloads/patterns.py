@@ -16,7 +16,7 @@ memory, autonomous IPs moving data around):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.soc.processor import MemoryOperation, ProcessorProgram
 from repro.soc.system import SoCConfig, SoCSystem

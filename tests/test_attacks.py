@@ -17,7 +17,6 @@ from repro.attacks import (
 )
 from repro.attacks.campaign import default_platform_factory
 from repro.core.secure import SecurityConfiguration
-from repro.soc.transaction import BusOperation, TransactionStatus
 
 from tests.conftest import make_security_config
 

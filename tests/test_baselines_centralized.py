@@ -1,13 +1,8 @@
 """Tests for the centralised (SECA-style) baseline and its comparison with
 the paper's distributed firewalls."""
 
-import pytest
 
-from repro.baselines import (
-    CentralizedPlatform,
-    CentralizedSecurityModule,
-    secure_platform_centralized,
-)
+from repro.baselines import CentralizedSecurityModule, secure_platform_centralized
 from repro.core.alerts import ViolationType
 from repro.core.secure import secure_platform
 from repro.soc.system import build_reference_platform
@@ -134,7 +129,7 @@ class TestDistributedVsCentralized:
         centralized_system = build_reference_platform()
         secure_platform_centralized(centralized_system)
         c_before = centralized_system.bus.monitor.count()
-        c_result = DoSFloodAttack(n_requests=60).run(centralized_system, None)
+        DoSFloodAttack(n_requests=60).run(centralized_system, None)
         c_reached = centralized_system.bus.monitor.count() - c_before
 
         assert d_result.extra["reached_bus"] < 60          # throttled at the source

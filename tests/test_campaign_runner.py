@@ -1,0 +1,95 @@
+"""Tests for the parallel campaign runner and the sharded map helper.
+
+The contract under test: for any worker count, a sharded campaign produces
+exactly the rows the serial :class:`AttackCampaign` produces, in the same
+order, with the protected-monitor summaries merged deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import (
+    AttackCampaign,
+    CampaignRunner,
+    DoSFloodAttack,
+    HijackedIPAttack,
+    SpoofingAttack,
+    parallel_map,
+)
+from repro.attacks.campaign import default_platform_factory
+from repro.attacks.runner import default_worker_count, shard_seed
+from repro.core.secure import SecurityConfiguration
+
+SECURITY = SecurityConfiguration(
+    ddr_secure_size=1024, ddr_cipher_only_size=1024, flood_threshold=20
+)
+
+
+def _attacks():
+    return [SpoofingAttack(), HijackedIPAttack(), DoSFloodAttack(n_requests=40)]
+
+
+def _row_fingerprint(report):
+    return [
+        (
+            row.attack,
+            row.unprotected.outcome.value,
+            row.protected.outcome.value,
+            row.detected,
+            row.protected.detection_cycle,
+        )
+        for row in report.rows
+    ]
+
+
+class TestCampaignRunner:
+    def test_serial_matches_legacy_campaign(self):
+        legacy = AttackCampaign(
+            _attacks(), platform_factory=default_platform_factory(security_config=SECURITY)
+        ).run()
+        serial = CampaignRunner(_attacks(), security_config=SECURITY, n_workers=1).run()
+        assert _row_fingerprint(serial) == _row_fingerprint(legacy)
+
+    def test_parallel_matches_serial_and_merges_monitors(self):
+        serial = CampaignRunner(_attacks(), security_config=SECURITY, n_workers=1).run()
+        parallel = CampaignRunner(_attacks(), security_config=SECURITY, n_workers=3).run()
+        assert _row_fingerprint(parallel) == _row_fingerprint(serial)
+        assert parallel.monitor_totals == serial.monitor_totals
+        assert parallel.monitor_totals  # protected runs raised alerts
+        assert parallel.metrics["n_workers"] == 3
+        assert len(parallel.metrics["shards"]) == 3
+
+    def test_worker_count_clamped_to_attacks(self):
+        report = CampaignRunner(
+            [SpoofingAttack()], security_config=SECURITY, n_workers=16
+        ).run()
+        assert report.metrics["n_workers"] == 1
+        assert report.n_attacks == 1
+
+    def test_rejects_empty_attack_list(self):
+        try:
+            CampaignRunner([])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("empty campaign should be rejected")
+
+
+class TestShardingHelpers:
+    def test_shard_seeds_are_deterministic_and_distinct(self):
+        seeds = [shard_seed(42, index) for index in range(16)]
+        assert seeds == [shard_seed(42, index) for index in range(16)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_default_worker_count_bounds(self):
+        assert default_worker_count(1) == 1
+        assert 1 <= default_worker_count(100) <= 8
+
+    def test_parallel_map_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, n_workers=4) == [i * i for i in items]
+        assert parallel_map(_square, items, n_workers=1) == [i * i for i in items]
+        assert parallel_map(_square, []) == []
+
+
+def _square(x: int) -> int:
+    return x * x

@@ -1,6 +1,5 @@
 """Tests for the Security Builder's checking modules and the alert system."""
 
-import pytest
 
 from repro.core.alerts import SecurityAlert, SecurityMonitor, Severity, ViolationType
 from repro.core.checks import (

@@ -1,6 +1,5 @@
 """Tests for the Local Firewall (LFCB + Security Builder + Firewall Interface)."""
 
-import pytest
 
 from repro.core.alerts import SecurityMonitor, ViolationType
 from repro.core.constants import SECURITY_BUILDER_CYCLES

@@ -1,18 +1,13 @@
 """Tests for the security manager (reactions/reconfiguration) and for
 secure_platform wiring."""
 
-import pytest
 
 from repro.core.alerts import SecurityAlert, SecurityMonitor, ViolationType
 from repro.core.ciphering_firewall import LocalCipheringFirewall
 from repro.core.local_firewall import LocalFirewall
 from repro.core.manager import ReactionPolicy, SecurityPolicyManager
 from repro.core.policy import ConfigurationMemory, ReadWriteAccess, SecurityPolicy
-from repro.core.secure import (
-    SecurityConfiguration,
-    default_policies,
-    secure_platform,
-)
+from repro.core.secure import default_policies, secure_platform
 from repro.crypto.keys import KeyStore
 from repro.soc.kernel import Simulator
 from repro.soc.processor import MemoryOperation, ProcessorProgram

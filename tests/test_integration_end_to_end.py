@@ -13,11 +13,10 @@ system-level invariants are:
   its interface.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.secure import SecurityConfiguration, secure_platform
+from repro.core.secure import secure_platform
 from repro.metrics.perf import measure_execution_overhead
 from repro.soc.processor import MemoryOperation, ProcessorProgram
 from repro.soc.system import build_reference_platform

@@ -4,7 +4,6 @@ import pytest
 
 from repro.soc.processor import MemoryOperation, OperationKind, ProcessorProgram
 from repro.soc.system import SoCConfig, build_reference_platform
-from repro.soc.transaction import TransactionStatus
 
 
 class TestMemoryOperation:
