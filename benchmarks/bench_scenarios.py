@@ -1,0 +1,89 @@
+"""Scenario-registry benchmark: arbitrary topologies through one harness.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this benchmark sweeps the whole scenario registry (the same one the
+differential test harness locks down), asserting that
+
+* the registry holds at least the 8 canonical scenarios,
+* every scenario builds, runs its workload and keeps its attack-detection
+  promises on the protected platform (every distributed-enforcement attack is
+  detected),
+* the scenario-backed parallel campaign runner reproduces the serial rows.
+
+The timed section is one full ``paper_baseline`` scenario run (build +
+workload + attack mix), i.e. the end-to-end cost of evaluating one topology.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_rounds, write_bench_json, write_result
+
+from repro.analysis.tables import format_table
+from repro.attacks import CampaignRunner
+from repro.scenarios import ScenarioBuilder, get_scenario, list_scenarios
+
+
+def run_scenario_once(name: str) -> dict:
+    spec = get_scenario(name)
+    builder = ScenarioBuilder(spec)
+    built = builder.build(protected=True)
+    cycles = built.run_workload()
+
+    detected = 0
+    attacks = built.attacks()
+    for attack in attacks:
+        protected = builder.build(protected=True)
+        result = attack.run(protected.system, protected.security)
+        detected += int(result.detected)
+    return {
+        "scenario": name,
+        "masters": len(spec.topology.masters),
+        "slaves": len(spec.topology.slaves),
+        "enforcement": spec.enforcement,
+        "cycles": cycles,
+        "attacks": len(attacks),
+        "detected": detected,
+    }
+
+
+def test_scenario_registry_matrix(benchmark, results_dir):
+    names = list_scenarios()
+    assert len(names) >= 8, "registry must hold at least 8 canonical scenarios"
+
+    rows = [run_scenario_once(name) for name in names]
+
+    # Every distributed-enforcement attack must be detected by the firewalls.
+    for row in rows:
+        if row["enforcement"] == "distributed":
+            assert row["detected"] == row["attacks"], (
+                f"{row['scenario']}: {row['detected']}/{row['attacks']} attacks detected"
+            )
+
+    # The scenario-backed sharded campaign must reproduce the serial rows.
+    serial = CampaignRunner.from_scenario("paper_baseline", n_workers=1).run()
+    sharded = CampaignRunner.from_scenario("paper_baseline", n_workers=2).run()
+    assert [r.attack for r in serial.rows] == [r.attack for r in sharded.rows]
+    assert serial.monitor_totals == sharded.monitor_totals
+
+    benchmark.pedantic(
+        lambda: run_scenario_once("paper_baseline"),
+        rounds=bench_rounds(3),
+        iterations=1,
+    )
+
+    rendered = format_table(
+        ["scenario", "masters", "slaves", "enforcement", "cycles", "attacks", "detected"],
+        [[r["scenario"], r["masters"], r["slaves"], r["enforcement"],
+          r["cycles"], r["attacks"], r["detected"]] for r in rows],
+        title="Scenario registry -- one row per registered topology",
+    )
+    write_result(results_dir, "scenarios.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "scenarios",
+        benchmark,
+        scenarios=len(rows),
+        total_attacks=sum(r["attacks"] for r in rows),
+        total_detected=sum(r["detected"] for r in rows),
+        registry=names,
+    )

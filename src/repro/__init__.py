@@ -12,6 +12,8 @@ The package is organised bottom-up:
   alerts and the reconfiguration manager,
 * :mod:`repro.attacks` -- spoofing / replay / relocation / hijack / DoS
   attack injection and campaign scoring,
+* :mod:`repro.scenarios` -- declarative topologies (``ScenarioSpec``), the
+  scenario builder/registry and the fast-vs-reference differential harness,
 * :mod:`repro.workloads` -- synthetic and application-shaped workloads,
 * :mod:`repro.metrics` -- area model (Table I), latency model (Table II),
   execution-overhead analysis,

@@ -35,7 +35,10 @@ import multiprocessing
 import os
 import random
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> attacks)
+    from repro.scenarios.spec import ScenarioSpec
 
 from repro.attacks.base import Attack
 from repro.attacks.campaign import (
@@ -123,14 +126,42 @@ def parallel_map(
 # ---------------------------------------------------------------------------
 
 
+def _shard_platform_factory(
+    scenario_spec: Optional["ScenarioSpec"],
+    soc_config: Optional[SoCConfig],
+    security_config: Optional[SecurityConfiguration],
+):
+    """Platform factory rebuilt inside each worker.
+
+    A :class:`~repro.scenarios.spec.ScenarioSpec` (plain picklable data, not
+    a factory closure) is what ships across the process boundary: the worker
+    rebuilds the exact topology, firewalls and Configuration Memories from
+    it.  Shipping the spec rather than a registry name keeps user-registered
+    scenarios working under the ``spawn`` start method, where workers
+    re-import a registry that only holds the stock entries.
+    """
+    if scenario_spec is not None:
+        from repro.scenarios import platform_factory_for
+
+        return platform_factory_for(scenario_spec)
+    return default_platform_factory(soc_config, security_config)
+
+
 def _run_campaign_shard(
-    payload: Tuple[int, int, List[Tuple[int, Attack]], Optional[SoCConfig], Optional[SecurityConfiguration]],
+    payload: Tuple[
+        int,
+        int,
+        List[Tuple[int, Attack]],
+        Optional[SoCConfig],
+        Optional[SecurityConfiguration],
+        Optional["ScenarioSpec"],
+    ],
 ) -> Tuple[int, float, List[Tuple[int, CampaignRow, Dict[str, int]]]]:
     """Run one shard's attacks on fresh platforms; returns indexed rows plus
     the per-attack protected-monitor summaries."""
-    shard_index, base_seed, attack_items, soc_config, security_config = payload
+    shard_index, base_seed, attack_items, soc_config, security_config, scenario_spec = payload
     random.seed(shard_seed(base_seed, shard_index))
-    factory = default_platform_factory(soc_config, security_config)
+    factory = _shard_platform_factory(scenario_spec, soc_config, security_config)
     started = time.perf_counter()
     out: List[Tuple[int, CampaignRow, Dict[str, int]]] = []
     for index, attack in attack_items:
@@ -173,6 +204,13 @@ class CampaignRunner:
         Platform configuration rebuilt inside each worker via
         :func:`default_platform_factory` — configurations are shipped to the
         workers instead of factory closures, which do not pickle.
+    scenario:
+        Name of a registered scenario (see :mod:`repro.scenarios.registry`);
+        when set, the spec is resolved once here and shipped to each worker,
+        which rebuilds that scenario's platform instead of the reference
+        platform (``soc_config``/``security_config`` are then ignored).
+        Prefer :meth:`from_scenario`, which also pulls the scenario's attack
+        mix.
     n_workers:
         Worker processes; ``None`` picks :func:`default_worker_count`, ``1``
         forces the serial in-process path.
@@ -187,6 +225,7 @@ class CampaignRunner:
         security_config: Optional[SecurityConfiguration] = None,
         n_workers: Optional[int] = None,
         base_seed: int = 0,
+        scenario: Optional[str] = None,
     ) -> None:
         if not attacks:
             raise ValueError("campaign needs at least one attack")
@@ -195,6 +234,28 @@ class CampaignRunner:
         self.security_config = security_config
         self.n_workers = n_workers
         self.base_seed = base_seed
+        self.scenario = scenario
+        self._scenario_spec = None
+        if scenario is not None:
+            from repro.scenarios import get_scenario
+
+            self._scenario_spec = get_scenario(scenario)
+
+    @classmethod
+    def from_scenario(
+        cls,
+        name: str,
+        n_workers: Optional[int] = None,
+        base_seed: int = 0,
+    ) -> "CampaignRunner":
+        """A runner over a registered scenario's own attack mix and platform."""
+        from repro.scenarios import get_scenario, instantiate_attacks
+
+        spec = get_scenario(name)
+        attacks = instantiate_attacks(spec)
+        if not attacks:
+            raise ValueError(f"scenario {name!r} has no attack mix")
+        return cls(attacks, n_workers=n_workers, base_seed=base_seed, scenario=name)
 
     def _payloads(self, workers: int):
         shards = _deal_round_robin(len(self.attacks), workers)
@@ -205,6 +266,7 @@ class CampaignRunner:
                 [(i, self.attacks[i]) for i in indices],
                 self.soc_config,
                 self.security_config,
+                self._scenario_spec,
             )
             for shard_index, indices in enumerate(shards)
         ]
@@ -252,4 +314,6 @@ class CampaignRunner:
             "wall_seconds": time.perf_counter() - started,
             "shards": sorted(shard_metrics, key=lambda m: m["shard"]),
         }
+        if self.scenario is not None:
+            report.metrics["scenario"] = self.scenario
         return report

@@ -43,7 +43,30 @@ from repro.soc.kernel import Simulator
 from repro.soc.ports import FilterResult, TransactionFilter
 from repro.soc.transaction import BusTransaction
 
-__all__ = ["CommunicationBlock", "SecurityBuilder", "FirewallInterface", "LocalFirewall"]
+__all__ = [
+    "CommunicationBlock",
+    "SecurityBuilder",
+    "FirewallInterface",
+    "LocalFirewall",
+    "use_decision_cache",
+    "decision_cache_enabled",
+]
+
+# Default for SecurityBuilder instances built without an explicit
+# ``cache_decisions`` argument.  The differential harness flips this to force
+# newly built platforms onto the uncached per-transaction reference path.
+_DECISION_CACHE_DEFAULT = True
+
+
+def use_decision_cache(enabled: bool = True) -> None:
+    """Set the default decision-caching behaviour of new Security Builders."""
+    global _DECISION_CACHE_DEFAULT
+    _DECISION_CACHE_DEFAULT = enabled
+
+
+def decision_cache_enabled() -> bool:
+    """Whether new Security Builders memoise verdicts by default."""
+    return _DECISION_CACHE_DEFAULT
 
 
 class CommunicationBlock:
@@ -99,8 +122,10 @@ class SecurityBuilder:
         config_memory: ConfigurationMemory,
         checks: Optional[Sequence[SecurityCheck]] = None,
         latency_cycles: int = SECURITY_BUILDER_CYCLES,
-        cache_decisions: bool = True,
+        cache_decisions: Optional[bool] = None,
     ) -> None:
+        if cache_decisions is None:
+            cache_decisions = _DECISION_CACHE_DEFAULT
         self.name = name
         self.config_memory = config_memory
         self.checks: List[SecurityCheck] = list(checks) if checks is not None else default_check_suite()

@@ -37,7 +37,19 @@ from repro.core.policy import (
 from repro.crypto.keys import KeyStore, random_key
 from repro.soc.system import SoCSystem
 
-__all__ = ["SecurityConfiguration", "SecuredPlatform", "secure_platform", "default_policies"]
+__all__ = [
+    "SecurityConfiguration",
+    "SecuredPlatform",
+    "secure_platform",
+    "default_policies",
+    "PlanRule",
+    "MasterFirewallPlan",
+    "SlaveFirewallPlan",
+    "CipheringFirewallPlan",
+    "SecurityPlan",
+    "default_plan",
+    "attach_security",
+]
 
 
 # Well-known SPI values used by the default configuration.
@@ -149,7 +161,12 @@ def default_policies() -> Dict[str, SecurityPolicy]:
 
 
 class SecuredPlatform:
-    """Handle on a platform with the security enhancements attached."""
+    """Handle on a platform with the security enhancements attached.
+
+    ``ciphering_firewalls`` maps external-memory slave names to their Local
+    Ciphering Firewalls; ``ciphering_firewall`` remains the primary (first
+    attached) LCF for the single-external-memory platforms of the paper.
+    """
 
     def __init__(
         self,
@@ -166,14 +183,20 @@ class SecuredPlatform:
         self.key_store = key_store
         self.master_firewalls: Dict[str, LocalFirewall] = {}
         self.slave_firewalls: Dict[str, LocalFirewall] = {}
-        self.ciphering_firewall: Optional[LocalCipheringFirewall] = None
+        self.ciphering_firewalls: Dict[str, LocalCipheringFirewall] = {}
+
+    @property
+    def ciphering_firewall(self) -> Optional[LocalCipheringFirewall]:
+        """The primary (first attached) Local Ciphering Firewall, if any."""
+        if not self.ciphering_firewalls:
+            return None
+        return next(iter(self.ciphering_firewalls.values()))
 
     @property
     def all_firewalls(self) -> List[LocalFirewall]:
         firewalls: List[LocalFirewall] = list(self.master_firewalls.values())
         firewalls.extend(self.slave_firewalls.values())
-        if self.ciphering_firewall is not None:
-            firewalls.append(self.ciphering_firewall)
+        firewalls.extend(self.ciphering_firewalls.values())
         return firewalls
 
     def local_firewall_count(self) -> int:
@@ -189,22 +212,77 @@ class SecuredPlatform:
         }
 
 
-def secure_platform(
-    system: SoCSystem,
-    config: Optional[SecurityConfiguration] = None,
-) -> SecuredPlatform:
-    """Attach firewalls, policies, keys and the security manager to ``system``."""
-    config = config or SecurityConfiguration()
-    policies = default_policies()
-    sim = system.sim
-    soc_config = system.config
+# ---------------------------------------------------------------------------
+# Security plans: a declarative description of where firewalls go
+# ---------------------------------------------------------------------------
+#
+# ``secure_platform`` used to hard-wire the Figure-1 layout (every master,
+# BRAM + IP on the slave side, one LCF on the DDR).  The layout is now data:
+# a :class:`SecurityPlan` lists the firewalls to attach and the rules each
+# Configuration Memory holds, and :func:`attach_security` executes any plan
+# against any :class:`SoCSystem`.  ``secure_platform`` builds the paper's
+# default plan from a :class:`SecurityConfiguration`; the scenario engine
+# (:mod:`repro.scenarios`) builds plans for arbitrary topologies.
 
-    monitor = SecurityMonitor()
-    key_store = KeyStore()
-    key_store.install(SPI_DDR_SECURE, random_key(config.key_seed))
-    key_store.install(SPI_DDR_CIPHER_ONLY, random_key(config.key_seed + 1))
-    manager = SecurityPolicyManager(sim, monitor, reaction=config.reaction, key_store=key_store)
-    platform = SecuredPlatform(system, config, monitor, manager, key_store)
+
+@dataclass(frozen=True)
+class PlanRule:
+    """One Configuration Memory rule of a planned firewall."""
+
+    base: int
+    size: int
+    policy: SecurityPolicy
+    label: str = ""
+
+
+@dataclass
+class MasterFirewallPlan:
+    """A Local Firewall on one master interface."""
+
+    master: str
+    rules: List[PlanRule] = field(default_factory=list)
+    flood_threshold: Optional[int] = None
+    flood_window: int = 100
+
+
+@dataclass
+class SlaveFirewallPlan:
+    """A Local Firewall on one internal slave interface."""
+
+    slave: str
+    rules: List[PlanRule] = field(default_factory=list)
+
+
+@dataclass
+class CipheringFirewallPlan:
+    """A Local Ciphering Firewall on one external-memory interface."""
+
+    slave: str
+    rules: List[PlanRule] = field(default_factory=list)
+    provision: bool = False
+
+
+@dataclass
+class SecurityPlan:
+    """Everything :func:`attach_security` needs to protect a platform.
+
+    ``keys`` lists ``(spi, seed)`` pairs installed into the trusted key store
+    before any firewall is built (ciphering policies reference them through
+    their ``key_spi``).
+    """
+
+    masters: List[MasterFirewallPlan] = field(default_factory=list)
+    slaves: List[SlaveFirewallPlan] = field(default_factory=list)
+    ciphering: List[CipheringFirewallPlan] = field(default_factory=list)
+    keys: List[tuple] = field(default_factory=list)
+    reaction: ReactionPolicy = field(default_factory=ReactionPolicy)
+    config_memory_capacity: int = 16
+
+
+def default_plan(system: SoCSystem, config: SecurityConfiguration) -> SecurityPlan:
+    """The paper's Figure-1 security plan for the reference platform."""
+    policies = default_policies()
+    soc_config = system.config
 
     bram_base = soc_config.bram_base
     bram_size = soc_config.bram_size
@@ -213,91 +291,167 @@ def secure_platform(
     ddr_base = soc_config.ddr_base
     ddr_size = soc_config.ddr_size
 
-    # -- master-side Local Firewalls ---------------------------------------------------
+    plan = SecurityPlan(
+        keys=[(SPI_DDR_SECURE, config.key_seed), (SPI_DDR_CIPHER_ONLY, config.key_seed + 1)],
+        reaction=config.reaction,
+        config_memory_capacity=config.config_memory_capacity,
+    )
+
     if config.protect_masters:
-        for master_name, port in system.master_ports.items():
-            memory = ConfigurationMemory(
-                f"cfg_{master_name}", capacity=config.config_memory_capacity
-            )
-            memory.add(bram_base, bram_size, policies["internal_full"], label="bram")
-            memory.add(ddr_base, ddr_size, policies["internal_full"], label="ddr")
+        for master_name in system.master_ports:
+            rules = [
+                PlanRule(bram_base, bram_size, policies["internal_full"], label="bram"),
+                PlanRule(ddr_base, ddr_size, policies["internal_full"], label="ddr"),
+            ]
             if master_name in config.ip_masters:
-                memory.add(ip_base, ip_size, policies["ip_registers"], label="ip0_regs")
+                rules.append(PlanRule(ip_base, ip_size, policies["ip_registers"], label="ip0_regs"))
             # Masters not listed in ip_masters simply have no rule covering the
             # IP registers: default-deny keeps them out.
-            firewall = LocalFirewall(
-                sim,
-                f"lf_{master_name}",
-                memory,
-                monitor=monitor,
-                protected_ip=master_name,
-                flood_threshold=config.flood_threshold,
-                flood_window=config.flood_window,
+            plan.masters.append(
+                MasterFirewallPlan(
+                    master=master_name,
+                    rules=rules,
+                    flood_threshold=config.flood_threshold,
+                    flood_window=config.flood_window,
+                )
             )
-            port.attach_filter(firewall)
-            platform.master_firewalls[master_name] = firewall
-            manager.register_firewall(firewall, guards_master=master_name)
 
-    # -- internal slave-side Local Firewalls ----------------------------------------------
     if config.protect_internal_slaves:
-        slave_rules = {
-            "bram": (bram_base, bram_size, policies["internal_full"]),
-            "ip0": (ip_base, ip_size, policies["ip_registers"]),
-        }
-        for slave_name, (base, size, policy) in slave_rules.items():
-            port = system.slave_ports.get(slave_name)
-            if port is None:
-                continue
-            memory = ConfigurationMemory(
-                f"cfg_{slave_name}", capacity=config.config_memory_capacity
-            )
-            memory.add(base, size, policy, label=slave_name)
-            firewall = LocalFirewall(
-                sim,
-                f"lf_{slave_name}",
-                memory,
-                monitor=monitor,
-                protected_ip=slave_name,
-            )
-            port.attach_filter(firewall)
-            platform.slave_firewalls[slave_name] = firewall
-            manager.register_firewall(firewall)
+        plan.slaves.append(
+            SlaveFirewallPlan("bram", [PlanRule(bram_base, bram_size, policies["internal_full"], label="bram")])
+        )
+        plan.slaves.append(
+            SlaveFirewallPlan("ip0", [PlanRule(ip_base, ip_size, policies["ip_registers"], label="ip0")])
+        )
 
-    # -- Local Ciphering Firewall on the external memory ------------------------------------
     if config.protect_external_memory:
         secure_size = min(config.ddr_secure_size, ddr_size)
         cipher_only_size = min(config.ddr_cipher_only_size, ddr_size - secure_size)
         plain_base = ddr_base + secure_size + cipher_only_size
         plain_size = ddr_size - secure_size - cipher_only_size
 
-        memory = ConfigurationMemory("cfg_ddr", capacity=config.config_memory_capacity)
+        rules = []
         if secure_size > 0:
-            memory.add(ddr_base, secure_size, policies["ddr_secure"], label="ddr_secure")
+            rules.append(PlanRule(ddr_base, secure_size, policies["ddr_secure"], label="ddr_secure"))
         if cipher_only_size > 0:
-            memory.add(
-                ddr_base + secure_size,
-                cipher_only_size,
-                policies["ddr_cipher_only"],
-                label="ddr_cipher_only",
+            rules.append(
+                PlanRule(
+                    ddr_base + secure_size,
+                    cipher_only_size,
+                    policies["ddr_cipher_only"],
+                    label="ddr_cipher_only",
+                )
             )
         if plain_size > 0:
-            memory.add(plain_base, plain_size, policies["ddr_plain"], label="ddr_plain")
+            rules.append(PlanRule(plain_base, plain_size, policies["ddr_plain"], label="ddr_plain"))
+        plan.ciphering.append(
+            CipheringFirewallPlan("ddr", rules, provision=config.provision_external_memory)
+        )
 
+    return plan
+
+
+def attach_security(
+    system: SoCSystem,
+    plan: SecurityPlan,
+    config: Optional[SecurityConfiguration] = None,
+) -> SecuredPlatform:
+    """Execute a :class:`SecurityPlan` against a platform.
+
+    Builds the monitor, key store and manager, then attaches one firewall per
+    plan entry (master LFs, internal slave LFs, LCFs on external memories),
+    each with its own trusted Configuration Memory.  ``config`` is recorded on
+    the returned :class:`SecuredPlatform` for reporting; it does not influence
+    the attachment, which is driven entirely by the plan.
+    """
+    config = config or SecurityConfiguration()
+    sim = system.sim
+
+    monitor = SecurityMonitor()
+    key_store = KeyStore()
+    for spi, seed in plan.keys:
+        key_store.install(spi, random_key(seed))
+    manager = SecurityPolicyManager(sim, monitor, reaction=plan.reaction, key_store=key_store)
+    platform = SecuredPlatform(system, config, monitor, manager, key_store)
+
+    # -- master-side Local Firewalls ---------------------------------------------------
+    for master_plan in plan.masters:
+        port = system.master_ports[master_plan.master]
+        memory = ConfigurationMemory(
+            f"cfg_{master_plan.master}", capacity=plan.config_memory_capacity
+        )
+        for rule in master_plan.rules:
+            memory.add(rule.base, rule.size, rule.policy, label=rule.label)
+        firewall = LocalFirewall(
+            sim,
+            f"lf_{master_plan.master}",
+            memory,
+            monitor=monitor,
+            protected_ip=master_plan.master,
+            flood_threshold=master_plan.flood_threshold,
+            flood_window=master_plan.flood_window,
+        )
+        port.attach_filter(firewall)
+        platform.master_firewalls[master_plan.master] = firewall
+        manager.register_firewall(firewall, guards_master=master_plan.master)
+
+    # -- internal slave-side Local Firewalls ----------------------------------------------
+    for slave_plan in plan.slaves:
+        port = system.slave_ports.get(slave_plan.slave)
+        if port is None:
+            continue
+        memory = ConfigurationMemory(
+            f"cfg_{slave_plan.slave}", capacity=plan.config_memory_capacity
+        )
+        for rule in slave_plan.rules:
+            memory.add(rule.base, rule.size, rule.policy, label=rule.label or slave_plan.slave)
+        firewall = LocalFirewall(
+            sim,
+            f"lf_{slave_plan.slave}",
+            memory,
+            monitor=monitor,
+            protected_ip=slave_plan.slave,
+        )
+        port.attach_filter(firewall)
+        platform.slave_firewalls[slave_plan.slave] = firewall
+        manager.register_firewall(firewall)
+
+    # -- Local Ciphering Firewalls on external memories ------------------------------------
+    for cipher_plan in plan.ciphering:
+        device = system.memories[cipher_plan.slave]
+        memory = ConfigurationMemory(
+            f"cfg_{cipher_plan.slave}", capacity=plan.config_memory_capacity
+        )
+        for rule in cipher_plan.rules:
+            memory.add(rule.base, rule.size, rule.policy, label=rule.label)
         lcf = LocalCipheringFirewall(
             sim,
-            "lcf_ddr",
+            f"lcf_{cipher_plan.slave}",
             memory,
-            device=system.ddr,
+            device=device,
             key_store=key_store,
             monitor=monitor,
-            protected_ip="ddr",
+            protected_ip=cipher_plan.slave,
         )
-        system.slave_ports["ddr"].attach_filter(lcf)
-        platform.ciphering_firewall = lcf
+        system.slave_ports[cipher_plan.slave].attach_filter(lcf)
+        platform.ciphering_firewalls[cipher_plan.slave] = lcf
         manager.register_firewall(lcf)
-        if config.provision_external_memory:
+        if cipher_plan.provision:
             lcf.protect_existing_contents()
 
     # Keys are provisioned; lock the store for the rest of the run.
     key_store.lock()
     return platform
+
+
+def secure_platform(
+    system: SoCSystem,
+    config: Optional[SecurityConfiguration] = None,
+) -> SecuredPlatform:
+    """Attach firewalls, policies, keys and the security manager to ``system``.
+
+    Equivalent to ``attach_security(system, default_plan(system, config))``:
+    the paper's layout expressed as the default security plan.
+    """
+    config = config or SecurityConfiguration()
+    return attach_security(system, default_plan(system, config), config)

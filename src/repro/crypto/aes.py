@@ -28,7 +28,31 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-__all__ = ["AES128", "SBOX", "INV_SBOX", "xtime", "gmul"]
+__all__ = [
+    "AES128",
+    "SBOX",
+    "INV_SBOX",
+    "xtime",
+    "gmul",
+    "use_reference_backend",
+    "fast_backend_enabled",
+]
+
+# When True (the default), encrypt_block/decrypt_block use the T-table fast
+# path; the differential harness flips this to force the byte-wise FIPS-197
+# reference rounds through the exact same call sites.
+_USE_FAST_BACKEND = True
+
+
+def use_reference_backend(enabled: bool = True) -> None:
+    """Force (or release) the FIPS-197 reference rounds for block calls."""
+    global _USE_FAST_BACKEND
+    _USE_FAST_BACKEND = not enabled
+
+
+def fast_backend_enabled() -> bool:
+    """Whether block calls currently use the T-table fast path."""
+    return _USE_FAST_BACKEND
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +337,8 @@ class AES128:
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt exactly one 16-byte block (table-driven fast path)."""
+        if not _USE_FAST_BACKEND:
+            return self.encrypt_block_reference(block)
         if len(block) != self.BLOCK_SIZE:
             raise ValueError(
                 f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"
@@ -345,6 +371,8 @@ class AES128:
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt exactly one 16-byte block (table-driven fast path)."""
+        if not _USE_FAST_BACKEND:
+            return self.decrypt_block_reference(block)
         if len(block) != self.BLOCK_SIZE:
             raise ValueError(
                 f"AES block must be {self.BLOCK_SIZE} bytes, got {len(block)}"

@@ -19,7 +19,7 @@ object exposing ``encrypt_block``/``decrypt_block``/``BLOCK_SIZE``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Protocol
+from typing import Optional, Protocol
 
 __all__ = [
     "BlockCipher",
@@ -29,7 +29,25 @@ __all__ = [
     "pkcs7_pad",
     "pkcs7_unpad",
     "xor_bytes",
+    "use_keystream_cache",
+    "keystream_cache_enabled",
 ]
+
+# Default for CTRMode instances built without an explicit ``cache_blocks``
+# argument.  The differential harness flips this to force every new CTR mode
+# onto the uncached reference path.
+_KEYSTREAM_CACHE_DEFAULT = True
+
+
+def use_keystream_cache(enabled: bool = True) -> None:
+    """Set the default keystream-caching behaviour of new :class:`CTRMode`."""
+    global _KEYSTREAM_CACHE_DEFAULT
+    _KEYSTREAM_CACHE_DEFAULT = enabled
+
+
+def keystream_cache_enabled() -> bool:
+    """Whether new :class:`CTRMode` instances cache keystream blocks."""
+    return _KEYSTREAM_CACHE_DEFAULT
 
 
 class BlockCipher(Protocol):
@@ -164,10 +182,10 @@ class CTRMode:
     #: Upper bound on memoised keystream blocks (16 bytes each).
     CACHE_LIMIT = 4096
 
-    def __init__(self, cipher: BlockCipher, cache_blocks: bool = True) -> None:
+    def __init__(self, cipher: BlockCipher, cache_blocks: Optional[bool] = None) -> None:
         self._cipher = cipher
         self._block = cipher.BLOCK_SIZE
-        self._cache_blocks = cache_blocks
+        self._cache_blocks = _KEYSTREAM_CACHE_DEFAULT if cache_blocks is None else cache_blocks
         self._keystream_cache: "OrderedDict[bytes, bytes]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0

@@ -186,8 +186,7 @@ class AreaModel:
         for firewall in list(secured.master_firewalls.values()) + list(secured.slave_firewalls.values()):
             total = total + self.local_firewall_area(firewall.config_memory.total_rule_count())
             n_firewalls += 1
-        lcf = secured.ciphering_firewall
-        if lcf is not None:
+        for lcf in secured.ciphering_firewalls.values():
             has_cipher = any(r.rule.policy.needs_ciphering for r in lcf.protected_regions)
             has_integrity = any(r.rule.policy.needs_integrity for r in lcf.protected_regions)
             total = total + self.ciphering_firewall_area(

@@ -1,0 +1,388 @@
+"""Assemble live platforms from scenario specifications.
+
+:class:`ScenarioBuilder` is the bridge between the declarative layer
+(:mod:`repro.scenarios.spec`) and the simulation substrate: it instantiates
+the kernel, address map, bus, devices and master ports for an arbitrary
+topology, derives a :class:`repro.core.secure.SecurityPlan` from the spec's
+policy map, and attaches the distributed firewalls (or the centralized
+baseline) through the same :func:`repro.core.secure.attach_security` path the
+reference platform uses.  The result is a :class:`BuiltScenario` that can
+load the workload mix, schedule mid-run reconfigurations and instantiate the
+attack mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import List, Optional, Tuple, Union
+
+from repro.attacks.dos import DoSFloodAttack
+from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
+from repro.attacks.memory_attacks import RelocationAttack, ReplayAttack, SpoofingAttack
+from repro.baselines.centralized import CentralizedPlatform, secure_platform_centralized
+from repro.core.manager import ReactionPolicy
+from repro.core.policy import ConfidentialityMode, IntegrityMode, ReadWriteAccess, SecurityPolicy
+from repro.core.secure import (
+    CipheringFirewallPlan,
+    MasterFirewallPlan,
+    PlanRule,
+    SecuredPlatform,
+    SecurityConfiguration,
+    SecurityPlan,
+    SlaveFirewallPlan,
+    attach_security,
+    default_policies,
+)
+from repro.soc.address_map import AddressMap
+from repro.soc.bus import RoundRobinArbiter, SystemBus
+from repro.soc.ip import RegisterFileIP
+from repro.soc.kernel import Simulator
+from repro.soc.memory import BlockRAM, ExternalDDR
+from repro.soc.system import SoCConfig, SoCSystem
+from repro.workloads.generators import SyntheticWorkloadConfig, SyntheticWorkloadGenerator
+
+from repro.scenarios.spec import ScenarioSpec, SlaveSpec
+
+__all__ = ["ATTACK_KINDS", "ScenarioBuilder", "BuiltScenario", "instantiate_attacks"]
+
+
+#: Attack classes instantiable from an :class:`AttackSpec`.
+ATTACK_KINDS = {
+    "spoofing": SpoofingAttack,
+    "replay": ReplayAttack,
+    "relocation": RelocationAttack,
+    "sensitive_register_probe": SensitiveRegisterProbe,
+    "hijacked_ip_write": HijackedIPAttack,
+    "exfiltration": ExfiltrationAttack,
+    "dos_flood": DoSFloodAttack,
+}
+
+#: First SPI allocated to scenario-defined ciphering policies (clear of the
+#: well-known SPI_* constants of the default configuration).
+_SCENARIO_SPI_BASE = 100
+
+
+def instantiate_attacks(spec: ScenarioSpec) -> List[object]:
+    """Fresh attack instances for one run of the scenario's attack mix."""
+    attacks = []
+    for attack_spec in spec.attacks:
+        try:
+            cls = ATTACK_KINDS[attack_spec.kind]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown attack kind {attack_spec.kind!r}; known: {sorted(ATTACK_KINDS)}"
+            ) from exc
+        attacks.append(cls(**attack_spec.params))
+    return attacks
+
+
+@dataclass
+class BuiltScenario:
+    """A constructed platform plus the scenario hooks to drive it."""
+
+    spec: ScenarioSpec
+    system: SoCSystem
+    security: Optional[Union[SecuredPlatform, CentralizedPlatform]] = None
+
+    @property
+    def protected(self) -> bool:
+        return self.security is not None
+
+    @property
+    def monitor(self):
+        return self.security.monitor if self.security is not None else None
+
+    # -- workload ------------------------------------------------------------------
+
+    def load_workload(self) -> None:
+        """Generate and load one synthetic program per CPU master."""
+        workload = self.spec.workload
+        if workload is None:
+            return
+        generator = SyntheticWorkloadGenerator(self.system.config)
+        primary_ddr = self.spec.topology.primary("ddr")
+        primary_ip = self.spec.topology.primary("ip")
+        params = asdict(workload)
+        params.pop("stagger")
+        base_cfg = SyntheticWorkloadConfig(**params)
+        for index, master in enumerate(self.spec.topology.cpu_masters()):
+            # Same per-CPU seed decorrelation as
+            # SyntheticWorkloadGenerator.generate_per_cpu, so scenario
+            # workloads stay comparable with the benchmark sweeps.
+            cfg = replace(base_cfg, seed=workload.seed + 1000 * (index + 1))
+            if primary_ddr is None or not master.can_access(primary_ddr.name):
+                cfg = replace(cfg, external_share=0.0)
+            if primary_ip is None or not master.can_access(primary_ip.name):
+                cfg = replace(cfg, ip_share_of_internal=0.0)
+            program = generator.generate(cfg, name=f"{self.spec.name}_{master.name}")
+            self.system.processors[master.name].load_program(program)
+
+    def schedule_reconfigurations(self) -> None:
+        """Arm the spec's mid-run reconfiguration events on the simulator.
+
+        Only meaningful on protected distributed builds (the unprotected
+        platform has no Configuration Memories to rewrite).
+        """
+        if not self.spec.reconfigs:
+            return
+        if not isinstance(self.security, SecuredPlatform):
+            return
+        manager = self.security.manager
+        for event in self.spec.reconfigs:
+            def apply(event=event):
+                firewall = manager.firewall(event.firewall)
+                memory = firewall.config_memory
+                if event.action == "remove_rule":
+                    if not memory.remove(event.rule_base):
+                        raise ValueError(
+                            f"{self.spec.name}: reconfiguration targets no rule at "
+                            f"{event.rule_base:#x} in {event.firewall}"
+                        )
+                    return
+                for rule in memory.rules:
+                    if rule.base == event.rule_base:
+                        manager.reconfigure_policy(
+                            event.firewall,
+                            event.rule_base,
+                            rule.policy.with_updates(rwa=ReadWriteAccess.READ_ONLY),
+                        )
+                        return
+                raise ValueError(
+                    f"{self.spec.name}: reconfiguration targets no rule at "
+                    f"{event.rule_base:#x} in {event.firewall}"
+                )
+            self.system.sim.schedule_at(event.at_cycle, apply)
+
+    def run_workload(self) -> int:
+        """Load the workload, arm reconfigurations, run to completion.
+
+        Returns the final simulation cycle.
+        """
+        if self.spec.workload is None:
+            return self.system.sim.now
+        self.load_workload()
+        self.schedule_reconfigurations()
+        self.system.start_all(stagger=self.spec.workload.stagger)
+        return self.system.run()
+
+    def attacks(self) -> List[object]:
+        """Fresh instances of the scenario's attack mix."""
+        return instantiate_attacks(self.spec)
+
+
+class ScenarioBuilder:
+    """Build :class:`BuiltScenario` instances from a :class:`ScenarioSpec`."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+
+    # -- platform construction ----------------------------------------------------------
+
+    def _mirror_config(self) -> SoCConfig:
+        """A :class:`SoCConfig` mirroring the primary devices of the topology.
+
+        Legacy code (attacks, workload generators, the centralized baseline)
+        addresses the platform through ``system.config``; pointing its fields
+        at the scenario's primary bram/ip/ddr keeps that code working on any
+        topology that has them.
+        """
+        topology = self.spec.topology
+        config = SoCConfig(
+            n_processors=len(topology.cpu_masters()),
+            with_dma=any(m.kind == "dma" for m in topology.masters),
+        )
+        bram = topology.primary("bram")
+        if bram is not None:
+            config.bram_base = bram.base
+            config.bram_size = bram.size
+            config.bram_latency = bram.latency
+        ip = topology.primary("ip")
+        if ip is not None:
+            config.ip_regs_base = ip.base
+            config.ip_n_registers = ip.n_registers
+            config.ip_access_latency = ip.access_latency
+            config.ip_sensitive_registers = list(ip.sensitive_registers)
+        ddr = topology.primary("ddr")
+        if ddr is not None:
+            config.ddr_base = ddr.base
+            config.ddr_size = ddr.size
+            config.ddr_row_hit_latency = ddr.row_hit_latency
+            config.ddr_row_miss_latency = ddr.row_miss_latency
+        return config
+
+    def build_system(self) -> SoCSystem:
+        """Instantiate kernel, address map, bus, devices and masters."""
+        topology = self.spec.topology
+        sim = Simulator()
+
+        address_map = AddressMap()
+        for slave in topology.slaves:
+            address_map.add_region(
+                slave.region_name,
+                slave.base,
+                slave.size,
+                slave=slave.name,
+                external=(slave.kind == "ddr"),
+            )
+
+        bus = SystemBus(sim, address_map=address_map, arbiter=RoundRobinArbiter())
+        system = SoCSystem(sim, bus, self._mirror_config())
+
+        for slave in topology.slaves:
+            if slave.kind == "bram":
+                system.add_memory(
+                    BlockRAM(
+                        sim, slave.name, base=slave.base, size=slave.size,
+                        read_latency=slave.latency, write_latency=slave.latency,
+                    )
+                )
+            elif slave.kind == "ddr":
+                system.add_memory(
+                    ExternalDDR(
+                        sim, slave.name, base=slave.base, size=slave.size,
+                        row_hit_latency=slave.row_hit_latency,
+                        row_miss_latency=slave.row_miss_latency,
+                    )
+                )
+            else:
+                system.add_ip(
+                    RegisterFileIP(
+                        sim, slave.name, base=slave.base,
+                        n_registers=slave.n_registers,
+                        access_latency=slave.access_latency,
+                        sensitive_registers=list(slave.sensitive_registers),
+                    )
+                )
+
+        for master in topology.masters:
+            if master.kind == "cpu":
+                system.add_processor(master.name)
+            else:
+                system.add_dma(master.name)
+        return system
+
+    # -- security plan -------------------------------------------------------------------
+
+    def _window_rules(
+        self, slave: SlaveSpec, next_spi: int, keys: List[Tuple[int, int]]
+    ) -> Tuple[List[PlanRule], int]:
+        """Ciphering-firewall rules for one DDR slave's protection windows."""
+        policies = default_policies()
+        rules: List[PlanRule] = []
+        offset = slave.base
+        windows = list(slave.windows)
+        remainder = slave.size - sum(w.size for w in windows)
+        for window in windows:
+            if window.protection == "plain":
+                rules.append(
+                    PlanRule(offset, window.size, policies["ddr_plain"], label=f"{slave.name}_plain")
+                )
+            else:
+                secure = window.protection == "secure"
+                policy = SecurityPolicy(
+                    spi=next_spi,
+                    rwa=ReadWriteAccess.READ_WRITE,
+                    allowed_formats=frozenset({1, 2, 4}),
+                    confidentiality=ConfidentialityMode.CIPHER,
+                    integrity=IntegrityMode.HASH_TREE if secure else IntegrityMode.BYPASS,
+                    key_spi=next_spi,
+                    max_burst_length=16,
+                    description=f"{slave.name} {window.protection} window",
+                )
+                keys.append((next_spi, self.spec.key_seed + len(keys)))
+                next_spi += 1
+                rules.append(
+                    PlanRule(offset, window.size, policy, label=f"{slave.name}_{window.protection}")
+                )
+            offset += window.size
+        if remainder > 0:
+            rules.append(
+                PlanRule(offset, remainder, policies["ddr_plain"], label=f"{slave.name}_plain")
+            )
+        return rules, next_spi
+
+    def build_plan(self) -> SecurityPlan:
+        """Derive the security plan from the spec's topology and policy map."""
+        spec = self.spec
+        topology = spec.topology
+        policies = default_policies()
+
+        keys: List[Tuple[int, int]] = []
+        next_spi = _SCENARIO_SPI_BASE
+        ciphering: List[CipheringFirewallPlan] = []
+        for slave in topology.slaves_of_kind("ddr"):
+            if not slave.firewall:
+                continue
+            rules, next_spi = self._window_rules(slave, next_spi, keys)
+            ciphering.append(CipheringFirewallPlan(slave.name, rules))
+
+        masters: List[MasterFirewallPlan] = []
+        for master in topology.masters:
+            if not master.firewall:
+                continue
+            rules = []
+            for slave in topology.slaves:
+                if not master.can_access(slave.name):
+                    continue
+                if slave.kind == "ip":
+                    policy = policies["ip_registers"]
+                    if slave.name in master.readonly:
+                        policy = policy.with_updates(
+                            rwa=ReadWriteAccess.READ_ONLY,
+                            description="word-only, read-only access to IP registers",
+                        )
+                elif slave.name in master.readonly:
+                    policy = policies["internal_readonly"]
+                else:
+                    policy = policies["internal_full"]
+                rules.append(PlanRule(slave.base, slave.size, policy, label=slave.region_name))
+            masters.append(
+                MasterFirewallPlan(
+                    master=master.name,
+                    rules=rules,
+                    flood_threshold=spec.flood_threshold,
+                    flood_window=spec.flood_window,
+                )
+            )
+
+        slaves: List[SlaveFirewallPlan] = []
+        for slave in topology.slaves:
+            if slave.kind == "ddr" or not slave.firewall:
+                continue
+            policy = policies["ip_registers"] if slave.kind == "ip" else policies["internal_full"]
+            slaves.append(
+                SlaveFirewallPlan(
+                    slave.name,
+                    [PlanRule(slave.base, slave.size, policy, label=slave.name)],
+                )
+            )
+
+        return SecurityPlan(
+            masters=masters,
+            slaves=slaves,
+            ciphering=ciphering,
+            keys=keys,
+            reaction=ReactionPolicy(quarantine_after=spec.quarantine_after),
+            config_memory_capacity=spec.config_memory_capacity,
+        )
+
+    # -- top-level -----------------------------------------------------------------------
+
+    def build(self, protected: bool = True) -> BuiltScenario:
+        """Construct the platform, optionally with its security enhancements."""
+        system = self.build_system()
+        if not protected:
+            return BuiltScenario(self.spec, system, None)
+        if self.spec.enforcement == "centralized":
+            security = secure_platform_centralized(
+                system,
+                SecurityConfiguration(config_memory_capacity=self.spec.config_memory_capacity),
+            )
+        else:
+            security = attach_security(
+                system,
+                self.build_plan(),
+                SecurityConfiguration(config_memory_capacity=self.spec.config_memory_capacity),
+            )
+        return BuiltScenario(self.spec, system, security)

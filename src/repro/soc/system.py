@@ -109,6 +109,48 @@ class SoCSystem:
         """Processor ``cpu<index>``."""
         return self.processors[f"cpu{index}"]
 
+    # -- generic assembly ------------------------------------------------------------
+    #
+    # The reference builder below and the scenario engine
+    # (:mod:`repro.scenarios.builder`) both assemble platforms from these
+    # primitives, so an arbitrary topology gets the exact same port/bus wiring
+    # as the paper's Figure-1 system.
+
+    def add_memory(self, device) -> SlavePort:
+        """Connect a memory device as a bus slave; returns its slave port."""
+        port = SlavePort(self.sim, f"{device.name}_port", device)
+        self.memories[device.name] = device
+        self.slave_ports[device.name] = port
+        self.bus.connect_slave(port)
+        return port
+
+    def add_ip(self, device) -> SlavePort:
+        """Connect a slave IP (e.g. a register file); returns its slave port."""
+        port = SlavePort(self.sim, f"{device.name}_port", device)
+        self.ips[device.name] = device
+        self.slave_ports[device.name] = port
+        self.bus.connect_slave(port)
+        return port
+
+    def add_processor(self, name: str) -> Processor:
+        """Create a processor with its own master port on the bus."""
+        port = MasterPort(self.sim, f"{name}_port")
+        self.bus.connect_master(port)
+        self.master_ports[name] = port
+        processor = Processor(self.sim, name, port)
+        self.processors[name] = processor
+        return processor
+
+    def add_dma(self, name: str = "dma") -> DMAEngine:
+        """Create a DMA master engine on the bus (also stored as :attr:`dma`)."""
+        port = MasterPort(self.sim, f"{name}_port")
+        self.bus.connect_master(port)
+        self.master_ports[name] = port
+        engine = DMAEngine(self.sim, name, port)
+        if self.dma is None:
+            self.dma = engine
+        return engine
+
     def load_programs(self, programs: Dict[str, ProcessorProgram]) -> None:
         """Load one program per processor name."""
         for name, program in programs.items():
@@ -214,28 +256,16 @@ def build_reference_platform(
         access_latency=config.ip_access_latency,
         sensitive_registers=config.ip_sensitive_registers,
     )
-    system.memories["bram"] = bram
-    system.memories["ddr"] = ddr
-    system.ips["ip0"] = ip0
-
-    for device in (bram, ddr, ip0):
-        port = SlavePort(sim, f"{device.name}_port", device)
-        system.slave_ports[device.name] = port
-        bus.connect_slave(port)
+    system.add_memory(bram)
+    system.add_memory(ddr)
+    system.add_ip(ip0)
 
     # Processors and their master ports.
     for index in range(config.n_processors):
-        cpu_name = f"cpu{index}"
-        port = MasterPort(sim, f"{cpu_name}_port")
-        bus.connect_master(port)
-        system.master_ports[cpu_name] = port
-        system.processors[cpu_name] = Processor(sim, cpu_name, port)
+        system.add_processor(f"cpu{index}")
 
     # Dedicated DMA master.
     if config.with_dma:
-        dma_port = MasterPort(sim, "dma_port")
-        bus.connect_master(dma_port)
-        system.master_ports["dma"] = dma_port
-        system.dma = DMAEngine(sim, "dma", dma_port)
+        system.add_dma("dma")
 
     return system

@@ -1,0 +1,76 @@
+"""Golden-model differential harness over the whole scenario registry.
+
+Every registered scenario runs twice — fast paths enabled (the default) and
+reference paths forced (:func:`repro.scenarios.reference_mode`) — and the two
+structural fingerprints must match exactly: same alert streams, same cycle
+counts, same raw memory images (i.e. same ciphertexts in the protected
+external memory), same firewall verdict counters and same per-attack
+outcomes, on both the protected and the unprotected builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import fast_backend_enabled as aes_fast_enabled
+from repro.crypto.sha256 import fast_backend_enabled as sha_fast_enabled
+from repro.scenarios import (
+    assert_equivalent,
+    differential_pair,
+    get_scenario,
+    list_scenarios,
+    reference_mode,
+    run_scenario,
+)
+
+ALL_SCENARIOS = list_scenarios()
+
+
+def test_registry_holds_canonical_scenarios():
+    assert len(ALL_SCENARIOS) >= 8
+    for expected in (
+        "minimal_1x1",
+        "paper_baseline",
+        "many_master_contention",
+        "sparse_protection",
+        "dense_protection",
+        "reconfiguration_under_load",
+        "attack_heavy",
+        "crypto_heavy",
+        "centralized_baseline_mirror",
+    ):
+        assert expected in ALL_SCENARIOS
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_fast_and_reference_runs_are_identical(name):
+    fast, reference = differential_pair(lambda: get_scenario(name))
+    assert_equivalent(fast, reference)
+
+
+def test_reference_mode_restores_fast_paths():
+    assert aes_fast_enabled() and sha_fast_enabled()
+    with reference_mode():
+        assert not aes_fast_enabled() and not sha_fast_enabled()
+    assert aes_fast_enabled() and sha_fast_enabled()
+
+
+def test_fingerprint_covers_the_interesting_observables():
+    fingerprint = run_scenario(get_scenario("minimal_1x1"))
+    protected = fingerprint["protected"]
+    assert protected["workload_cycles"] > 0
+    assert "bram" in protected["memories"]
+    assert protected["firewalls"], "protected run must fingerprint its firewalls"
+    assert fingerprint["unprotected"]["firewalls"] == {}
+    assert len(protected["attacks"]) == 1
+
+
+def test_reconfiguration_scenario_alerts_only_after_the_swap():
+    """The reconfiguration-under-load scenario must produce alerts, all of
+    them after the first reconfiguration fires (cycle 600)."""
+    fingerprint = run_scenario(get_scenario("reconfiguration_under_load"))
+    alerts = fingerprint["protected"]["alerts"]
+    assert alerts, "reconfiguration scenario must trip the new read-only rule"
+    assert all(cycle >= 600 for cycle, *_ in alerts)
+    # The unprotected build has no firewalls, hence no alerts.
+    assert fingerprint["unprotected"]["alerts"] == []

@@ -73,6 +73,72 @@ class TestCampaignRunner:
         else:
             raise AssertionError("empty campaign should be rejected")
 
+    def test_empty_campaign_rejected_everywhere(self):
+        """Every campaign entry point refuses an empty battery the same way."""
+        import pytest
+
+        with pytest.raises(ValueError):
+            AttackCampaign([])
+        with pytest.raises(ValueError):
+            CampaignRunner([], security_config=SECURITY)
+        with pytest.raises(ValueError):
+            CampaignRunner([], security_config=SECURITY, n_workers=8)
+
+    def test_single_worker_vs_eight_workers_row_identity(self):
+        """workers=8 (more shards than most batteries) must reproduce the
+        serial rows bit for bit, monitor totals included."""
+        serial = CampaignRunner(_attacks(), security_config=SECURITY, n_workers=1).run()
+        eight = CampaignRunner(_attacks(), security_config=SECURITY, n_workers=8).run()
+        assert _row_fingerprint(eight) == _row_fingerprint(serial)
+        assert eight.monitor_totals == serial.monitor_totals
+        # Worker count is clamped to the attack count, never above it.
+        assert eight.metrics["n_workers"] == len(_attacks())
+
+    def test_shard_count_exceeding_attack_count(self):
+        """Requesting far more shards than attacks degenerates gracefully:
+        one shard per attack, rows in original order."""
+        attacks = [SpoofingAttack(), HijackedIPAttack()]
+        report = CampaignRunner(
+            attacks, security_config=SECURITY, n_workers=64
+        ).run()
+        assert report.metrics["n_workers"] == 2
+        assert len(report.metrics["shards"]) == 2
+        assert [row.attack for row in report.rows] == [a.name for a in attacks]
+        assert all(shard["attacks"] == 1 for shard in report.metrics["shards"])
+
+
+class TestScenarioCampaigns:
+    def test_from_scenario_matches_serial_rows(self):
+        serial = CampaignRunner.from_scenario("paper_baseline", n_workers=1).run()
+        sharded = CampaignRunner.from_scenario("paper_baseline", n_workers=3).run()
+        assert _row_fingerprint(sharded) == _row_fingerprint(serial)
+        assert sharded.monitor_totals == serial.monitor_totals
+        assert serial.metrics["scenario"] == "paper_baseline"
+        assert serial.n_attacks == 7
+
+    def test_from_scenario_unknown_name(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            CampaignRunner.from_scenario("no_such_scenario")
+
+    def test_scenario_without_attack_mix_is_rejected(self):
+        import pytest
+
+        from repro.scenarios import get_scenario, register_scenario
+
+        spec = get_scenario("minimal_1x1")
+        spec.name = "minimal_no_attacks"
+        spec.attacks = ()
+        register_scenario(lambda: spec)
+        try:
+            with pytest.raises(ValueError):
+                CampaignRunner.from_scenario("minimal_no_attacks")
+        finally:
+            from repro.scenarios import registry
+
+            registry._REGISTRY.pop("minimal_no_attacks", None)
+
 
 class TestShardingHelpers:
     def test_shard_seeds_are_deterministic_and_distinct(self):
