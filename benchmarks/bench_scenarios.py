@@ -40,6 +40,7 @@ def run_scenario_once(name: str) -> dict:
         "masters": len(spec.topology.masters),
         "slaves": len(spec.topology.slaves),
         "enforcement": spec.enforcement,
+        "placement": spec.placement,
         "cycles": cycles,
         "attacks": len(attacks),
         "detected": detected,
@@ -52,11 +53,21 @@ def test_scenario_registry_matrix(benchmark, results_dir):
 
     rows = [run_scenario_once(name) for name in names]
 
-    # Every distributed-enforcement attack must be detected by the firewalls.
+    # Every attack must be detected when the distributed plan places leaf
+    # firewalls.  Bridge-only placement is *expected* to miss some (that is
+    # the paper's argument against centralization, reproduced in-topology by
+    # bridge_firewalled_centralized) but must still catch at least one.
     for row in rows:
-        if row["enforcement"] == "distributed":
+        if row["enforcement"] != "distributed":
+            continue
+        if row["placement"] in ("leaf", "both"):
             assert row["detected"] == row["attacks"], (
                 f"{row['scenario']}: {row['detected']}/{row['attacks']} attacks detected"
+            )
+        else:
+            assert 0 < row["detected"] < row["attacks"], (
+                f"{row['scenario']}: bridge-only placement should catch some "
+                f"but not all attacks ({row['detected']}/{row['attacks']})"
             )
 
     # The scenario-backed sharded campaign must reproduce the serial rows.
@@ -72,8 +83,9 @@ def test_scenario_registry_matrix(benchmark, results_dir):
     )
 
     rendered = format_table(
-        ["scenario", "masters", "slaves", "enforcement", "cycles", "attacks", "detected"],
-        [[r["scenario"], r["masters"], r["slaves"], r["enforcement"],
+        ["scenario", "masters", "slaves", "enforcement", "placement", "cycles",
+         "attacks", "detected"],
+        [[r["scenario"], r["masters"], r["slaves"], r["enforcement"], r["placement"],
           r["cycles"], r["attacks"], r["detected"]] for r in rows],
         title="Scenario registry -- one row per registered topology",
     )

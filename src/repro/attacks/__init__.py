@@ -11,7 +11,10 @@ enumerates:
 * :class:`HijackedIPAttack`, :class:`SensitiveRegisterProbe`,
   :class:`ExfiltrationAttack` -- an infected on-chip IP issuing unauthorized
   accesses (the case the Local Firewalls must stop at the interface),
-* :class:`DoSFloodAttack` -- overwhelming traffic injection.
+* :class:`DoSFloodAttack` -- overwhelming traffic injection,
+* :class:`CrossSegmentProbe`, :class:`CrossSegmentWriteStorm` -- hijacked
+  IPs reaching across a hierarchical fabric, exercising containment at the
+  bus bridges (leaf vs. bridge firewall placement).
 
 :class:`AttackCampaign` runs a list of attacks against a platform (protected
 or not) and produces the detection matrix used by the E6 experiment and the
@@ -22,6 +25,7 @@ from repro.attacks.base import Attack, AttackOutcome, AttackResult
 from repro.attacks.injector import AttackerMaster
 from repro.attacks.memory_attacks import RelocationAttack, ReplayAttack, SpoofingAttack
 from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
+from repro.attacks.cross_segment import CrossSegmentProbe, CrossSegmentWriteStorm
 from repro.attacks.dos import DoSFloodAttack
 from repro.attacks.campaign import AttackCampaign, CampaignReport
 from repro.attacks.runner import CampaignRunner, parallel_map
@@ -38,6 +42,8 @@ __all__ = [
     "SensitiveRegisterProbe",
     "ExfiltrationAttack",
     "DoSFloodAttack",
+    "CrossSegmentProbe",
+    "CrossSegmentWriteStorm",
     "AttackCampaign",
     "CampaignReport",
     "CampaignRunner",

@@ -48,7 +48,10 @@ class DoSFloodAttack(Attack):
 
     def run(self, system: SoCSystem, security: Optional[SecuredPlatform] = None) -> AttackResult:
         baseline_alerts = len(security.monitor.alerts) if security else 0
-        baseline_bus = system.bus.monitor.count()
+        # Count distinct transactions, not raw monitor observations: on a
+        # hierarchical fabric the monitor records one observation per segment
+        # crossed, which would inflate a cross-segment flood by its hop count.
+        baseline_ids = {t.txn_id for t in system.bus.monitor.history}
         target = system.config.bram_base + self.target_offset
 
         # The flood is issued through the hijacked master's own (possibly
@@ -58,7 +61,9 @@ class DoSFloodAttack(Attack):
         attacker.flood(target, count=self.n_requests, interval=self.interval)
         system.run()
 
-        reached_bus = system.bus.monitor.count() - baseline_bus
+        reached_bus = len(
+            {t.txn_id for t in system.bus.monitor.history} - baseline_ids
+        )
         flood_effective = reached_bus >= self.success_fraction * self.n_requests
         alerts = self._alerts_since(security, baseline_alerts)
         return AttackResult(

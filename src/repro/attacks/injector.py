@@ -37,12 +37,18 @@ class AttackerMaster(Component):
 
     @classmethod
     def with_new_port(
-        cls, sim: Simulator, bus: SystemBus, name: str = "attacker"
+        cls,
+        sim: Simulator,
+        bus: SystemBus,
+        name: str = "attacker",
+        segment: Optional[str] = None,
     ) -> "AttackerMaster":
         """Create an attacker with its own unfiltered port on the bus
-        (modelling an injection point outside any firewall)."""
+        (modelling an injection point outside any firewall).  On a fabric,
+        ``segment`` places the injection point on a specific bus segment
+        (None = the default segment)."""
         port = MasterPort(sim, f"{name}_port")
-        bus.connect_master(port)
+        bus.connect_master(port, segment=segment)
         return cls(sim, name, port)
 
     # -- issuing -------------------------------------------------------------------

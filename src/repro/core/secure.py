@@ -45,11 +45,25 @@ __all__ = [
     "PlanRule",
     "MasterFirewallPlan",
     "SlaveFirewallPlan",
+    "BridgeFirewallPlan",
     "CipheringFirewallPlan",
     "SecurityPlan",
+    "FIREWALL_PLACEMENTS",
     "default_plan",
     "attach_security",
 ]
+
+
+#: Where a security plan places its Local Firewalls.
+#:
+#: * ``"leaf"`` — the paper's distributed layout: an LF at every master/slave
+#:   interface (plus the LCF at external memories).
+#: * ``"bridge"`` — LFs only on the fabric's bus bridges: every cross-segment
+#:   access is checked at a chokepoint, reproducing the centralized-security-
+#:   bridge baseline *inside* a distributed topology (intra-segment traffic is
+#:   unchecked, which is exactly the weakness the paper argues against).
+#: * ``"both"`` — leaf and bridge firewalls together (defence in depth).
+FIREWALL_PLACEMENTS = ("leaf", "bridge", "both")
 
 
 # Well-known SPI values used by the default configuration.
@@ -183,6 +197,7 @@ class SecuredPlatform:
         self.key_store = key_store
         self.master_firewalls: Dict[str, LocalFirewall] = {}
         self.slave_firewalls: Dict[str, LocalFirewall] = {}
+        self.bridge_firewalls: Dict[str, LocalFirewall] = {}
         self.ciphering_firewalls: Dict[str, LocalCipheringFirewall] = {}
 
     @property
@@ -196,12 +211,17 @@ class SecuredPlatform:
     def all_firewalls(self) -> List[LocalFirewall]:
         firewalls: List[LocalFirewall] = list(self.master_firewalls.values())
         firewalls.extend(self.slave_firewalls.values())
+        firewalls.extend(self.bridge_firewalls.values())
         firewalls.extend(self.ciphering_firewalls.values())
         return firewalls
 
     def local_firewall_count(self) -> int:
         """Number of plain Local Firewalls (excludes the LCF)."""
-        return len(self.master_firewalls) + len(self.slave_firewalls)
+        return (
+            len(self.master_firewalls)
+            + len(self.slave_firewalls)
+            + len(self.bridge_firewalls)
+        )
 
     def summary(self) -> Dict[str, object]:
         """Aggregate view used by reports and the detection experiments."""
@@ -254,6 +274,20 @@ class SlaveFirewallPlan:
 
 
 @dataclass
+class BridgeFirewallPlan:
+    """A Local Firewall on one fabric bridge.
+
+    The firewall's filter chain runs on every transaction the bridge forwards
+    (both directions), so its rules describe the address ranges cross-segment
+    traffic may touch.  A remote region with *no* rule is default-denied at
+    the bridge (POLICY_MISS), which is how per-bridge isolation is expressed.
+    """
+
+    bridge: str
+    rules: List[PlanRule] = field(default_factory=list)
+
+
+@dataclass
 class CipheringFirewallPlan:
     """A Local Ciphering Firewall on one external-memory interface."""
 
@@ -269,14 +303,27 @@ class SecurityPlan:
     ``keys`` lists ``(spi, seed)`` pairs installed into the trusted key store
     before any firewall is built (ciphering policies reference them through
     their ``key_spi``).
+
+    ``placement`` records which of :data:`FIREWALL_PLACEMENTS` the plan
+    implements; it is descriptive — attachment is driven by which of the
+    ``masters`` / ``slaves`` / ``bridges`` lists are populated — but reports
+    and the metrics layer use it to label the leaf-vs-bridge split.
     """
 
     masters: List[MasterFirewallPlan] = field(default_factory=list)
     slaves: List[SlaveFirewallPlan] = field(default_factory=list)
+    bridges: List[BridgeFirewallPlan] = field(default_factory=list)
     ciphering: List[CipheringFirewallPlan] = field(default_factory=list)
     keys: List[tuple] = field(default_factory=list)
     reaction: ReactionPolicy = field(default_factory=ReactionPolicy)
     config_memory_capacity: int = 16
+    placement: str = "leaf"
+
+    def __post_init__(self) -> None:
+        if self.placement not in FIREWALL_PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {FIREWALL_PLACEMENTS}, got {self.placement!r}"
+            )
 
 
 def default_plan(system: SoCSystem, config: SecurityConfiguration) -> SecurityPlan:
@@ -415,6 +462,38 @@ def attach_security(
         port.attach_filter(firewall)
         platform.slave_firewalls[slave_plan.slave] = firewall
         manager.register_firewall(firewall)
+
+    # -- bridge-placed Local Firewalls -----------------------------------------------------
+    if plan.bridges:
+        fabric_bridges = getattr(system.bus, "bridges", None)
+        if not fabric_bridges:
+            raise ValueError(
+                "security plan places firewalls on bridges, but the platform's "
+                "interconnect has none (flat bus?)"
+            )
+        for bridge_plan in plan.bridges:
+            try:
+                bridge = fabric_bridges[bridge_plan.bridge]
+            except KeyError as exc:
+                raise ValueError(
+                    f"security plan references unknown bridge {bridge_plan.bridge!r}; "
+                    f"known: {sorted(fabric_bridges)}"
+                ) from exc
+            memory = ConfigurationMemory(
+                f"cfg_{bridge_plan.bridge}", capacity=plan.config_memory_capacity
+            )
+            for rule in bridge_plan.rules:
+                memory.add(rule.base, rule.size, rule.policy, label=rule.label)
+            firewall = LocalFirewall(
+                sim,
+                f"lf_{bridge_plan.bridge}",
+                memory,
+                monitor=monitor,
+                protected_ip=bridge_plan.bridge,
+            )
+            bridge.attach_filter(firewall)
+            platform.bridge_firewalls[bridge_plan.bridge] = firewall
+            manager.register_firewall(firewall)
 
     # -- Local Ciphering Firewalls on external memories ------------------------------------
     for cipher_plan in plan.ciphering:

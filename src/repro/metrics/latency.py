@@ -41,7 +41,16 @@ from repro.core.constants import (
     SECURITY_BUILDER_CYCLES,
 )
 
-__all__ = ["PAPER_TABLE2", "Table2Row", "LatencyModel", "generate_table2"]
+__all__ = [
+    "PAPER_TABLE2",
+    "Table2Row",
+    "LatencyModel",
+    "generate_table2",
+    "per_hop_latency",
+    "aggregate_hop_latency",
+    "PlacementRow",
+    "placement_split",
+]
 
 
 #: Paper Table II, verbatim: module -> (cycles, throughput Mb/s or None).
@@ -99,6 +108,95 @@ class LatencyModel:
 
 def _safe_ratio(total: float, count: int) -> float:
     return total / count if count else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Per-hop latency attribution (hierarchical fabrics)
+# ---------------------------------------------------------------------------
+#
+# On a multi-segment fabric a transaction's latency breakdown carries one
+# bucket per hop: ``"bus"`` (flat bus) or ``"bus:<segment>"`` per segment
+# crossed, plus ``"bridge:<name>"`` per bridge forwarding.  Splitting those
+# out — and splitting the Security Builder cycles by firewall placement —
+# is what lets a Table-II-style account compare leaf-firewall cycles against
+# bridge-firewall cycles on the same workload.
+
+
+def per_hop_latency(txn) -> Dict[str, int]:
+    """Hop-attributed cycles of one transaction.
+
+    Keys are ``"bus"`` / ``"bus:<segment>"`` for segment transfers and
+    ``"bridge:<name>"`` for bridge forwarding; everything else in the
+    breakdown (device access, firewall stages) is not a hop and is excluded.
+    """
+    return {
+        stage: cycles
+        for stage, cycles in txn.latency_breakdown.items()
+        if stage == "bus" or stage.startswith("bus:") or stage.startswith("bridge:")
+    }
+
+
+def aggregate_hop_latency(transactions) -> Dict[str, int]:
+    """Sum of :func:`per_hop_latency` over a transaction collection.
+
+    Duplicates are counted once: a fabric monitor's merged history holds one
+    entry per *hop observation* (the same transaction object appears once per
+    segment it crossed), while each transaction's breakdown already carries
+    its whole path — summing every appearance would multiply a multi-hop
+    transaction's cycles by its hop count.
+    """
+    totals: Dict[str, int] = {}
+    seen = set()
+    for txn in transactions:
+        if txn.txn_id in seen:
+            continue
+        seen.add(txn.txn_id)
+        for stage, cycles in per_hop_latency(txn).items():
+            totals[stage] = totals.get(stage, 0) + cycles
+    return totals
+
+
+@dataclass(frozen=True)
+class PlacementRow:
+    """Security Builder accounting for one firewall placement class."""
+
+    placement: str
+    firewalls: int
+    evaluations: int
+    cycles: int
+
+    @property
+    def mean_cycles(self) -> float:
+        """Average SB cycles charged per evaluation (12 when plumbed right)."""
+        return _safe_ratio(self.cycles, self.evaluations)
+
+
+def placement_split(security) -> List[PlacementRow]:
+    """Split Security Builder work by firewall placement.
+
+    ``security`` is a :class:`repro.core.secure.SecuredPlatform`; the rows
+    cover the leaf master/slave Local Firewalls, the bridge-placed Local
+    Firewalls and the Local Ciphering Firewalls, in that order.  On a flat
+    platform the bridge row simply reports zero firewalls.
+    """
+    groups = (
+        ("leaf_master", security.master_firewalls.values()),
+        ("leaf_slave", security.slave_firewalls.values()),
+        ("bridge", security.bridge_firewalls.values()),
+        ("lcf", security.ciphering_firewalls.values()),
+    )
+    rows = []
+    for placement, firewalls in groups:
+        firewalls = list(firewalls)
+        rows.append(
+            PlacementRow(
+                placement=placement,
+                firewalls=len(firewalls),
+                evaluations=sum(f.security_builder.evaluations for f in firewalls),
+                cycles=sum(f.security_builder.cycles_charged for f in firewalls),
+            )
+        )
+    return rows
 
 
 def generate_table2(

@@ -18,9 +18,11 @@ claim into an executable surface:
 
 from repro.scenarios.spec import (
     AttackSpec,
+    BridgeSpec,
     MasterSpec,
     ReconfigSpec,
     ScenarioSpec,
+    SegmentSpec,
     SlaveSpec,
     TopologySpec,
     WindowSpec,
@@ -43,9 +45,11 @@ from repro.scenarios.differential import (
 
 __all__ = [
     "AttackSpec",
+    "BridgeSpec",
     "MasterSpec",
     "ReconfigSpec",
     "ScenarioSpec",
+    "SegmentSpec",
     "SlaveSpec",
     "TopologySpec",
     "WindowSpec",

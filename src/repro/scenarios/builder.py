@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Tuple, Union
 
+from repro.attacks.cross_segment import CrossSegmentProbe, CrossSegmentWriteStorm
 from repro.attacks.dos import DoSFloodAttack
 from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
 from repro.attacks.memory_attacks import RelocationAttack, ReplayAttack, SpoofingAttack
@@ -23,6 +24,7 @@ from repro.baselines.centralized import CentralizedPlatform, secure_platform_cen
 from repro.core.manager import ReactionPolicy
 from repro.core.policy import ConfidentialityMode, IntegrityMode, ReadWriteAccess, SecurityPolicy
 from repro.core.secure import (
+    BridgeFirewallPlan,
     CipheringFirewallPlan,
     MasterFirewallPlan,
     PlanRule,
@@ -34,7 +36,8 @@ from repro.core.secure import (
     default_policies,
 )
 from repro.soc.address_map import AddressMap
-from repro.soc.bus import RoundRobinArbiter, SystemBus
+from repro.soc.bus import FixedPriorityArbiter, RoundRobinArbiter, SystemBus
+from repro.soc.fabric import InterconnectFabric
 from repro.soc.ip import RegisterFileIP
 from repro.soc.kernel import Simulator
 from repro.soc.memory import BlockRAM, ExternalDDR
@@ -55,6 +58,8 @@ ATTACK_KINDS = {
     "hijacked_ip_write": HijackedIPAttack,
     "exfiltration": ExfiltrationAttack,
     "dos_flood": DoSFloodAttack,
+    "cross_segment_probe": CrossSegmentProbe,
+    "cross_segment_write_storm": CrossSegmentWriteStorm,
 }
 
 #: First SPI allocated to scenario-defined ciphering policies (clear of the
@@ -211,31 +216,65 @@ class ScenarioBuilder:
             config.ddr_row_miss_latency = ddr.row_miss_latency
         return config
 
-    def build_system(self) -> SoCSystem:
-        """Instantiate kernel, address map, bus, devices and masters."""
+    def _build_interconnect(self, sim: Simulator):
+        """The spec's interconnect: a flat bus, or a finalized fabric."""
         topology = self.spec.topology
-        sim = Simulator()
+        if not topology.hierarchical:
+            address_map = AddressMap()
+            for slave in topology.slaves:
+                address_map.add_region(
+                    slave.region_name,
+                    slave.base,
+                    slave.size,
+                    slave=slave.name,
+                    external=(slave.kind == "ddr"),
+                )
+            return SystemBus(sim, address_map=address_map, arbiter=RoundRobinArbiter())
 
-        address_map = AddressMap()
+        fabric = InterconnectFabric(sim)
+        for segment in topology.segments:
+            arbiter = (
+                FixedPriorityArbiter()
+                if segment.arbiter == "fixed_priority"
+                else RoundRobinArbiter()
+            )
+            fabric.add_segment(segment.name, arbiter=arbiter)
+        for bridge in topology.bridges:
+            fabric.add_bridge(
+                bridge.name,
+                bridge.a,
+                bridge.b,
+                forward_latency=bridge.forward_latency,
+                posted_writes=bridge.posted_writes,
+                buffer_depth=bridge.buffer_depth,
+            )
         for slave in topology.slaves:
-            address_map.add_region(
+            fabric.add_region(
                 slave.region_name,
                 slave.base,
                 slave.size,
                 slave=slave.name,
                 external=(slave.kind == "ddr"),
+                segment=topology.segment_of(slave),
             )
+        fabric.finalize()
+        return fabric
 
-        bus = SystemBus(sim, address_map=address_map, arbiter=RoundRobinArbiter())
-        system = SoCSystem(sim, bus, self._mirror_config())
+    def build_system(self) -> SoCSystem:
+        """Instantiate kernel, interconnect, devices and masters."""
+        topology = self.spec.topology
+        sim = Simulator()
+        system = SoCSystem(sim, self._build_interconnect(sim), self._mirror_config())
 
         for slave in topology.slaves:
+            segment = topology.segment_of(slave)
             if slave.kind == "bram":
                 system.add_memory(
                     BlockRAM(
                         sim, slave.name, base=slave.base, size=slave.size,
                         read_latency=slave.latency, write_latency=slave.latency,
-                    )
+                    ),
+                    segment=segment,
                 )
             elif slave.kind == "ddr":
                 system.add_memory(
@@ -243,7 +282,8 @@ class ScenarioBuilder:
                         sim, slave.name, base=slave.base, size=slave.size,
                         row_hit_latency=slave.row_hit_latency,
                         row_miss_latency=slave.row_miss_latency,
-                    )
+                    ),
+                    segment=segment,
                 )
             else:
                 system.add_ip(
@@ -252,14 +292,16 @@ class ScenarioBuilder:
                         n_registers=slave.n_registers,
                         access_latency=slave.access_latency,
                         sensitive_registers=list(slave.sensitive_registers),
-                    )
+                    ),
+                    segment=segment,
                 )
 
         for master in topology.masters:
+            segment = topology.segment_of(master)
             if master.kind == "cpu":
-                system.add_processor(master.name)
+                system.add_processor(master.name, segment=segment)
             else:
-                system.add_dma(master.name)
+                system.add_dma(master.name, segment=segment)
         return system
 
     # -- security plan -------------------------------------------------------------------
@@ -302,11 +344,41 @@ class ScenarioBuilder:
             )
         return rules, next_spi
 
+    def _bridge_plans(self) -> List[BridgeFirewallPlan]:
+        """Centralized-style rule sets for every bridge of the topology.
+
+        A bridge firewall cannot tell masters apart the way a leaf LF can —
+        its rules are per address range only, exactly like the paper's
+        centralized security bridge.  Every slave region gets a rule by kind
+        (word-only for register-file IPs, full access otherwise) unless the
+        bridge's ``deny`` list names it, in which case the absence of a rule
+        default-denies all cross-segment access to it at this bridge.
+        """
+        policies = default_policies()
+        plans: List[BridgeFirewallPlan] = []
+        for bridge in self.spec.topology.bridges:
+            rules: List[PlanRule] = []
+            for slave in self.spec.topology.slaves:
+                if slave.name in bridge.deny:
+                    continue
+                policy = policies["ip_registers"] if slave.kind == "ip" else policies["internal_full"]
+                rules.append(PlanRule(slave.base, slave.size, policy, label=slave.region_name))
+            plans.append(BridgeFirewallPlan(bridge.name, rules))
+        return plans
+
     def build_plan(self) -> SecurityPlan:
-        """Derive the security plan from the spec's topology and policy map."""
+        """Derive the security plan from the spec's topology and policy map.
+
+        ``spec.placement`` decides where the Local Firewalls go: leaf
+        interfaces (the paper's distributed layout), the fabric's bridges
+        (the in-topology centralized baseline) or both.  The Local Ciphering
+        Firewall always stays at its external memory — it is the
+        cryptographic boundary, not an access-control placement choice.
+        """
         spec = self.spec
         topology = spec.topology
         policies = default_policies()
+        leaf = spec.placement in ("leaf", "both")
 
         keys: List[Tuple[int, int]] = []
         next_spi = _SCENARIO_SPI_BASE
@@ -318,7 +390,7 @@ class ScenarioBuilder:
             ciphering.append(CipheringFirewallPlan(slave.name, rules))
 
         masters: List[MasterFirewallPlan] = []
-        for master in topology.masters:
+        for master in topology.masters if leaf else ():
             if not master.firewall:
                 continue
             rules = []
@@ -347,7 +419,7 @@ class ScenarioBuilder:
             )
 
         slaves: List[SlaveFirewallPlan] = []
-        for slave in topology.slaves:
+        for slave in topology.slaves if leaf else ():
             if slave.kind == "ddr" or not slave.firewall:
                 continue
             policy = policies["ip_registers"] if slave.kind == "ip" else policies["internal_full"]
@@ -358,13 +430,19 @@ class ScenarioBuilder:
                 )
             )
 
+        bridges: List[BridgeFirewallPlan] = (
+            self._bridge_plans() if spec.placement in ("bridge", "both") else []
+        )
+
         return SecurityPlan(
             masters=masters,
             slaves=slaves,
+            bridges=bridges,
             ciphering=ciphering,
             keys=keys,
             reaction=ReactionPolicy(quarantine_after=spec.quarantine_after),
             config_memory_capacity=spec.config_memory_capacity,
+            placement=spec.placement,
         )
 
     # -- top-level -----------------------------------------------------------------------

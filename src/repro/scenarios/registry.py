@@ -20,9 +20,11 @@ from typing import Callable, Dict, List
 
 from repro.scenarios.spec import (
     AttackSpec,
+    BridgeSpec,
     MasterSpec,
     ReconfigSpec,
     ScenarioSpec,
+    SegmentSpec,
     SlaveSpec,
     TopologySpec,
     WindowSpec,
@@ -274,6 +276,172 @@ def crypto_heavy() -> ScenarioSpec:
             AttackSpec("replay"),
             AttackSpec("relocation"),
         ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical-fabric scenarios
+# ---------------------------------------------------------------------------
+#
+# These four exercise the multi-segment interconnect: bus segments joined by
+# bridges, firewall placement at the leaves, at the bridges, or both.  They
+# run through exactly the same differential harness as the flat scenarios.
+
+
+@register_scenario
+def two_segment_dma_isolation() -> ScenarioSpec:
+    """A CPU segment bridged to a DMA/peripheral segment.
+
+    The bridge posts writes and — under ``both`` placement — its firewall
+    carries no rule for the dedicated IP (``deny``), so the DMA segment is
+    structurally unable to reach the IP's registers even before the DMA's own
+    leaf firewall gets a say: containment in depth across the hierarchy.
+    """
+    return ScenarioSpec(
+        name="two_segment_dma_isolation",
+        description="2 CPUs + BRAM + IP on one segment, DMA + DDR behind a posted-write bridge",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "ddr", "ip0"), segment="seg_cpu"),
+                MasterSpec("cpu1", accessible=("bram", "ddr"), segment="seg_cpu"),
+                MasterSpec("dma", kind="dma", accessible=("bram", "ddr"), segment="seg_io"),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=32 * 1024, segment="seg_cpu"),
+                SlaveSpec("ip0", "ip", base=_IP_BASE, n_registers=64, segment="seg_cpu"),
+                SlaveSpec("ddr", "ddr", base=_DDR_BASE, size=64 * 1024, segment="seg_io",
+                          windows=(WindowSpec("secure", 2048), WindowSpec("cipher_only", 2048))),
+            ),
+            segments=(SegmentSpec("seg_cpu"), SegmentSpec("seg_io")),
+            bridges=(BridgeSpec("br_io", "seg_cpu", "seg_io", forward_latency=2,
+                                posted_writes=True, buffer_depth=4, deny=("ip0",)),),
+        ),
+        placement="both",
+        workload=WorkloadSpec(n_operations=100, external_share=0.4, seed=91),
+        attacks=(
+            AttackSpec("exfiltration"),
+            AttackSpec("cross_segment_probe", {"hijacked_master": "dma"}),
+            AttackSpec("dos_flood", {"hijacked_master": "dma", "n_requests": 60}),
+        ),
+        flood_threshold=20,
+    )
+
+
+@register_scenario
+def bridge_firewalled_centralized() -> ScenarioSpec:
+    """The paper's centralized baseline rebuilt *inside* a fabric.
+
+    No leaf firewalls at all: one bridge firewall checks every cross-segment
+    access at the chokepoint between the CPU segment and the peripheral
+    segment.  Format violations still die at the bridge, but the word-wide
+    sensitive-register probe sails through — the per-master policies only
+    leaf placement can express are exactly what centralization loses.
+    """
+    return ScenarioSpec(
+        name="bridge_firewalled_centralized",
+        description="bridge-placed firewall as the in-topology centralized baseline",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "ddr", "ip0"), segment="seg_cpu"),
+                MasterSpec("cpu1", accessible=("bram", "ddr", "ip0"), segment="seg_cpu"),
+                MasterSpec("cpu2", accessible=("bram", "ddr"), segment="seg_cpu"),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=32 * 1024, segment="seg_cpu"),
+                SlaveSpec("ip0", "ip", base=_IP_BASE, n_registers=64, segment="seg_ext"),
+                SlaveSpec("ddr", "ddr", base=_DDR_BASE, size=32 * 1024, segment="seg_ext",
+                          windows=(WindowSpec("secure", 2048),)),
+            ),
+            segments=(SegmentSpec("seg_cpu"), SegmentSpec("seg_ext")),
+            bridges=(BridgeSpec("br_sec", "seg_cpu", "seg_ext", forward_latency=4),),
+        ),
+        placement="bridge",
+        workload=WorkloadSpec(n_operations=100, external_share=0.4, seed=92),
+        attacks=(
+            AttackSpec("hijacked_ip_write", {"hijacked_master": "cpu1"}),
+            AttackSpec("sensitive_register_probe", {"hijacked_master": "cpu2"}),
+            AttackSpec("cross_segment_write_storm", {"hijacked_master": "cpu2", "n_requests": 16}),
+            AttackSpec("spoofing"),
+        ),
+    )
+
+
+@register_scenario
+def deep_hierarchy_3seg() -> ScenarioSpec:
+    """Three segments in a chain; CPU traffic to the DDR crosses two bridges.
+
+    Firewalls everywhere (``both``): leaf LFs at every interface plus a
+    firewall on each bridge, so per-hop latency attribution can split leaf
+    cycles from bridge cycles on a genuinely multi-hop path.
+    """
+    return ScenarioSpec(
+        name="deep_hierarchy_3seg",
+        description="3-segment chain (CPU / infrastructure / external), 2 bridges, both placements",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "bram1", "ddr", "ip0"), segment="seg0"),
+                MasterSpec("cpu1", accessible=("bram", "bram1", "ddr"), segment="seg0"),
+                MasterSpec("dma", kind="dma", accessible=("bram1", "ddr"), segment="seg1"),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=16 * 1024, segment="seg0"),
+                SlaveSpec("bram1", "bram", base=0x0001_0000, size=16 * 1024, segment="seg1"),
+                SlaveSpec("ip0", "ip", base=_IP_BASE, n_registers=64, segment="seg2"),
+                SlaveSpec("ddr", "ddr", base=_DDR_BASE, size=32 * 1024, segment="seg2",
+                          windows=(WindowSpec("secure", 1024), WindowSpec("cipher_only", 1024))),
+            ),
+            segments=(SegmentSpec("seg0"), SegmentSpec("seg1"), SegmentSpec("seg2")),
+            bridges=(
+                BridgeSpec("br01", "seg0", "seg1", forward_latency=2),
+                BridgeSpec("br12", "seg1", "seg2", forward_latency=3, posted_writes=True),
+            ),
+        ),
+        placement="both",
+        workload=WorkloadSpec(n_operations=90, external_share=0.5,
+                              external_working_set=1024, seed=93),
+        attacks=(
+            AttackSpec("replay"),
+            AttackSpec("relocation"),
+            AttackSpec("cross_segment_probe", {"hijacked_master": "dma"}),
+        ),
+    )
+
+
+@register_scenario
+def cross_segment_attack_storm() -> ScenarioSpec:
+    """Attack mix hammering the bridge from both sides under live traffic.
+
+    A malformed write storm and a DoS flood originate on the CPU segment
+    while a hijacked DMA probes backwards from the peripheral segment; the
+    bridge's small posted-write buffer back-pressures under the storm.
+    """
+    return ScenarioSpec(
+        name="cross_segment_attack_storm",
+        description="write storm + DoS flood + reverse probe across one congested bridge",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "ddr"), segment="seg_cpu"),
+                MasterSpec("cpu1", accessible=("bram", "ddr"), segment="seg_cpu"),
+                MasterSpec("dma", kind="dma", accessible=("ddr",), segment="seg_io"),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=16 * 1024, segment="seg_cpu"),
+                SlaveSpec("ip0", "ip", base=_IP_BASE, n_registers=32, segment="seg_io"),
+                SlaveSpec("ddr", "ddr", base=_DDR_BASE, size=32 * 1024, segment="seg_io",
+                          windows=(WindowSpec("secure", 1024),)),
+            ),
+            segments=(SegmentSpec("seg_cpu"), SegmentSpec("seg_io")),
+            bridges=(BridgeSpec("br_storm", "seg_cpu", "seg_io", forward_latency=2,
+                                posted_writes=True, buffer_depth=2),),
+        ),
+        workload=WorkloadSpec(n_operations=80, external_share=0.6, write_fraction=0.7,
+                              compute_burst_cycles=5, seed=94),
+        attacks=(
+            AttackSpec("cross_segment_write_storm", {"hijacked_master": "cpu1", "n_requests": 24}),
+            AttackSpec("dos_flood", {"hijacked_master": "cpu0", "n_requests": 50}),
+            AttackSpec("cross_segment_probe", {"hijacked_master": "dma"}),
+        ),
+        flood_threshold=20,
     )
 
 

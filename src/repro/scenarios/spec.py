@@ -22,10 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.secure import FIREWALL_PLACEMENTS
+
 __all__ = [
     "WindowSpec",
     "SlaveSpec",
     "MasterSpec",
+    "SegmentSpec",
+    "BridgeSpec",
     "WorkloadSpec",
     "AttackSpec",
     "ReconfigSpec",
@@ -42,6 +46,9 @@ SLAVE_KINDS = ("bram", "ddr", "ip")
 
 #: Master kinds a master spec can instantiate.
 MASTER_KINDS = ("cpu", "dma")
+
+#: Arbitration policies a segment spec can request.
+SEGMENT_ARBITERS = ("round_robin", "fixed_priority")
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,8 @@ class SlaveSpec:
     base: int
     size: int = 0
     firewall: bool = True
+    #: Fabric segment this slave attaches to ("" = the default segment).
+    segment: str = ""
 
     # bram
     latency: int = 1
@@ -135,6 +144,8 @@ class MasterSpec:
     accessible: Optional[Tuple[str, ...]] = None
     readonly: Tuple[str, ...] = ()
     firewall: bool = True
+    #: Fabric segment this master attaches to ("" = the default segment).
+    segment: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in MASTER_KINDS:
@@ -142,6 +153,57 @@ class MasterSpec:
 
     def can_access(self, slave: str) -> bool:
         return self.accessible is None or slave in self.accessible
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One bus segment of a hierarchical fabric.
+
+    A topology with no segments is the classic flat single bus; with
+    segments, every master and slave names the segment it attaches to (empty
+    = the first declared segment).
+    """
+
+    name: str
+    arbiter: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("segment needs a name")
+        if self.arbiter not in SEGMENT_ARBITERS:
+            raise ValueError(
+                f"segment arbiter must be one of {SEGMENT_ARBITERS}, got {self.arbiter!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BridgeSpec:
+    """A bus bridge joining two segments of the fabric.
+
+    ``deny`` lists slave names whose regions get *no* rule in this bridge's
+    firewall under bridge/both placement — cross-segment accesses to them are
+    default-denied at the bridge (per-bridge isolation).  ``posted_writes``
+    and ``buffer_depth`` configure the bridge's write-posting buffer;
+    ``forward_latency`` is the per-crossing cycle cost.
+    """
+
+    name: str
+    a: str
+    b: str
+    forward_latency: int = 2
+    posted_writes: bool = False
+    buffer_depth: int = 4
+    deny: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("bridge needs a name")
+        if self.a == self.b:
+            raise ValueError(f"bridge {self.name} must join two distinct segments")
+        if self.forward_latency < 0:
+            raise ValueError(f"bridge {self.name}: forward_latency must be non-negative")
+        if self.buffer_depth < 1:
+            raise ValueError(f"bridge {self.name}: buffer_depth must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -208,15 +270,27 @@ class ReconfigSpec:
 
 @dataclass
 class TopologySpec:
-    """An arbitrary bus-based SoC layout: N masters, M slaves."""
+    """An arbitrary bus-based SoC layout: N masters, M slaves.
+
+    ``segments`` and ``bridges`` describe a hierarchical interconnect
+    fabric; both empty means the classic flat shared bus (and every master
+    and slave must then leave its ``segment`` field empty).
+    """
 
     masters: Tuple[MasterSpec, ...]
     slaves: Tuple[SlaveSpec, ...]
+    segments: Tuple[SegmentSpec, ...] = ()
+    bridges: Tuple[BridgeSpec, ...] = ()
 
     def validate(self) -> None:
-        names = [m.name for m in self.masters] + [s.name for s in self.slaves]
+        names = (
+            [m.name for m in self.masters]
+            + [s.name for s in self.slaves]
+            + [s.name for s in self.segments]
+            + [b.name for b in self.bridges]
+        )
         if len(set(names)) != len(names):
-            raise ValueError("master/slave names must be unique")
+            raise ValueError("master/slave/segment/bridge names must be unique")
         if not any(m.kind == "cpu" for m in self.masters):
             raise ValueError("topology needs at least one cpu master")
         slave_names = {s.name for s in self.slaves}
@@ -232,6 +306,67 @@ class TopologySpec:
                 raise ValueError(
                     f"slave regions {left.name} and {right.name} overlap"
                 )
+        self._validate_fabric()
+
+    def _validate_fabric(self) -> None:
+        if not self.segments:
+            if self.bridges:
+                raise ValueError("bridges need segments to join")
+            for endpoint in tuple(self.masters) + tuple(self.slaves):
+                if endpoint.segment:
+                    raise ValueError(
+                        f"{endpoint.name} names segment {endpoint.segment!r} "
+                        "but the topology declares no segments"
+                    )
+            return
+        segment_names = {s.name for s in self.segments}
+        for endpoint in tuple(self.masters) + tuple(self.slaves):
+            if endpoint.segment and endpoint.segment not in segment_names:
+                raise ValueError(
+                    f"{endpoint.name} references unknown segment {endpoint.segment!r}"
+                )
+        slave_names = {s.name for s in self.slaves}
+        adjacency = {name: set() for name in segment_names}
+        for bridge in self.bridges:
+            for side in (bridge.a, bridge.b):
+                if side not in segment_names:
+                    raise ValueError(
+                        f"bridge {bridge.name} references unknown segment {side!r}"
+                    )
+            adjacency[bridge.a].add(bridge.b)
+            adjacency[bridge.b].add(bridge.a)
+            for denied in bridge.deny:
+                if denied not in slave_names:
+                    raise ValueError(
+                        f"bridge {bridge.name} denies unknown slave {denied!r}"
+                    )
+        # Every segment must be reachable from the first (bridges form a
+        # connected graph); otherwise some region could never be routed.
+        reachable = {self.segments[0].name}
+        frontier = [self.segments[0].name]
+        while frontier:
+            for neighbour in adjacency[frontier.pop()]:
+                if neighbour not in reachable:
+                    reachable.add(neighbour)
+                    frontier.append(neighbour)
+        if reachable != segment_names:
+            unreachable = sorted(segment_names - reachable)
+            raise ValueError(f"segments not connected by any bridge path: {unreachable}")
+
+    @property
+    def hierarchical(self) -> bool:
+        """Whether this topology declares a multi-segment fabric."""
+        return bool(self.segments)
+
+    def default_segment(self) -> Optional[str]:
+        """Name of the first declared segment, or None for a flat bus."""
+        return self.segments[0].name if self.segments else None
+
+    def segment_of(self, endpoint) -> Optional[str]:
+        """Resolved segment of a master/slave spec (None on a flat bus)."""
+        if not self.segments:
+            return None
+        return endpoint.segment or self.segments[0].name
 
     # -- convenience lookups -------------------------------------------------------
 
@@ -283,6 +418,12 @@ class ScenarioSpec:
     enforcement:
         ``"distributed"`` (the paper's LFs + LCF) or ``"centralized"`` (the
         SECA-style single-checker baseline from :mod:`repro.baselines`).
+    placement:
+        Where the distributed plan puts its Local Firewalls: ``"leaf"`` (every
+        master/slave interface, the paper's layout), ``"bridge"`` (only on the
+        fabric's bus bridges — the centralized baseline *inside* a
+        hierarchical topology) or ``"both"``.  Bridge placement requires a
+        topology with bridges.
     flood_threshold / flood_window:
         DoS heuristic installed on every master-side LF (``None`` disables).
     key_seed:
@@ -313,6 +454,7 @@ class ScenarioSpec:
     attacks: Tuple[AttackSpec, ...] = ()
     reconfigs: Tuple[ReconfigSpec, ...] = ()
     enforcement: str = "distributed"
+    placement: str = "leaf"
     flood_threshold: Optional[int] = None
     flood_window: int = 100
     key_seed: int = 0x5CE2_0001
@@ -324,12 +466,27 @@ class ScenarioSpec:
             raise ValueError("scenario needs a name")
         if self.enforcement not in ("distributed", "centralized"):
             raise ValueError(f"unknown enforcement model {self.enforcement!r}")
+        if self.placement not in FIREWALL_PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {FIREWALL_PLACEMENTS}, got {self.placement!r}"
+            )
         self.topology.validate()
-        firewall_names = (
-            {f"lf_{m.name}" for m in self.topology.masters if m.firewall}
-            | {f"lf_{s.name}" for s in self.topology.slaves if s.firewall and s.kind != "ddr"}
-            | {f"lcf_{s.name}" for s in self.topology.slaves if s.firewall and s.kind == "ddr"}
-        )
+        if self.placement in ("bridge", "both") and not self.topology.bridges:
+            raise ValueError(
+                f"placement {self.placement!r} needs a topology with bridges"
+            )
+        firewall_names = {
+            f"lcf_{s.name}" for s in self.topology.slaves if s.firewall and s.kind == "ddr"
+        }
+        if self.placement in ("leaf", "both"):
+            firewall_names |= {f"lf_{m.name}" for m in self.topology.masters if m.firewall}
+            firewall_names |= {
+                f"lf_{s.name}"
+                for s in self.topology.slaves
+                if s.firewall and s.kind != "ddr"
+            }
+        if self.placement in ("bridge", "both"):
+            firewall_names |= {f"lf_{b.name}" for b in self.topology.bridges}
         for event in self.reconfigs:
             if event.firewall not in firewall_names:
                 raise ValueError(

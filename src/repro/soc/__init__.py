@@ -13,7 +13,12 @@ transaction-level, cycle-accounted behavioural model of that platform:
   decoding,
 * :mod:`repro.soc.ports` -- master/slave ports and the transaction-filter
   interface through which the security firewalls are interposed,
-* :mod:`repro.soc.bus` -- the shared system bus with pluggable arbitration,
+* :mod:`repro.soc.bus` -- the shared system bus with pluggable arbitration
+  (the 1-segment special case of the fabric),
+* :mod:`repro.soc.fabric` -- the hierarchical interconnect fabric: the
+  :class:`Interconnect` contract, :class:`BusSegment`, :class:`BusBridge`
+  (posted writes, firewall-capable filter chains) and memoised multi-hop
+  routing,
 * :mod:`repro.soc.memory` -- BRAM and external-DDR memory models,
 * :mod:`repro.soc.processor` -- MicroBlaze-like programmable bus masters,
 * :mod:`repro.soc.ip` -- dedicated IP models (DMA engine, register-file slave),
@@ -45,6 +50,14 @@ from repro.soc.bus import (
     RoundRobinArbiter,
     SystemBus,
 )
+from repro.soc.fabric import (
+    BusBridge,
+    BusSegment,
+    FabricRouter,
+    Interconnect,
+    InterconnectFabric,
+    Route,
+)
 from repro.soc.memory import BlockRAM, ExternalDDR, MemoryDevice
 from repro.soc.processor import MemoryOperation, Processor, ProcessorProgram
 from repro.soc.ip import DMAEngine, RegisterFileIP
@@ -69,6 +82,12 @@ __all__ = [
     "RoundRobinArbiter",
     "FixedPriorityArbiter",
     "BusMonitor",
+    "Interconnect",
+    "BusSegment",
+    "BusBridge",
+    "InterconnectFabric",
+    "FabricRouter",
+    "Route",
     "MemoryDevice",
     "BlockRAM",
     "ExternalDDR",

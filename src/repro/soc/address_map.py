@@ -9,6 +9,7 @@ policy governs a target address.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -79,16 +80,20 @@ class AddressRegion:
 class AddressMap:
     """Ordered collection of non-overlapping address regions."""
 
-    #: Upper bound on memoised decode answers before the memo is reset.
+    #: Upper bound on memoised decode answers before least-recently-used
+    #: entries are evicted (one at a time — never a wholesale reset, so an
+    #: address-sweeping workload cannot flush the hot set).
     DECODE_CACHE_LIMIT = 65536
 
     def __init__(self) -> None:
         self._regions: List[AddressRegion] = []
         self._by_name: Dict[str, AddressRegion] = {}
-        # Memoised decode() answers.  The region list is fixed once the
-        # platform is built, while the bus decodes the same (address, size)
-        # pairs over and over; the memo is dropped whenever a region is added.
-        self._decode_cache: Dict[Tuple[int, int], AddressRegion] = {}
+        # Memoised decode() answers, LRU-ordered.  The region list is mostly
+        # fixed once the platform is built, while the bus decodes the same
+        # (address, size) pairs over and over; the memo is dropped whenever a
+        # region is added or removed so remapping can never serve stale
+        # answers.
+        self._decode_cache: "OrderedDict[Tuple[int, int], AddressRegion]" = OrderedDict()
 
     def add(self, region: AddressRegion) -> AddressRegion:
         """Register a region, rejecting overlaps and duplicate names."""
@@ -117,6 +122,20 @@ class AddressMap:
         """Convenience wrapper building and adding an :class:`AddressRegion`."""
         return self.add(AddressRegion(name=name, base=base, size=size, slave=slave, external=external))
 
+    def remove_region(self, name: str) -> AddressRegion:
+        """Unregister a region by name (e.g. before remapping it elsewhere).
+
+        Invalidates the decode memo so no stale answer can survive the
+        remapping.  Returns the removed region.
+        """
+        try:
+            region = self._by_name.pop(name)
+        except KeyError as exc:
+            raise KeyError(f"no region named {name!r}") from exc
+        self._regions.remove(region)
+        self._decode_cache.clear()
+        return region
+
     # -- lookup ---------------------------------------------------------------
 
     def decode(self, address: int, size: int = 1) -> AddressRegion:
@@ -129,11 +148,12 @@ class AddressMap:
         key = (address, size)
         cached = self._decode_cache.get(key)
         if cached is not None:
+            self._decode_cache.move_to_end(key)
             return cached
         for region in self._regions:
             if region.contains(address, size):
                 if len(self._decode_cache) >= self.DECODE_CACHE_LIMIT:
-                    self._decode_cache.clear()
+                    self._decode_cache.popitem(last=False)
                 self._decode_cache[key] = region
                 return region
         raise DecodeError(address)

@@ -1,125 +1,39 @@
 """Shared system bus with pluggable arbitration.
 
 The paper's platform is bus-based ("we target a bus-based system where a
-limited number of IPs are connected together").  The model here is a single
-shared 32-bit bus:
+limited number of IPs are connected together").  :class:`SystemBus` is the
+single shared 32-bit bus of that platform — since the interconnect-fabric
+refactor it is the 1-segment special case of
+:class:`~repro.soc.fabric.segment.BusSegment`, which holds the actual
+implementation (arbitration, address/data phases, monitoring).  Multi-segment
+platforms use :class:`~repro.soc.fabric.fabric.InterconnectFabric` instead;
+both implement the :class:`~repro.soc.fabric.interconnect.Interconnect`
+contract :class:`~repro.soc.system.SoCSystem` is written against.
 
-* masters submit transactions through their :class:`~repro.soc.ports.MasterPort`,
-* an arbiter (round-robin by default, fixed-priority available) grants one
-  transaction at a time,
-* the granted transaction occupies the bus for an address phase plus one data
-  beat per ``width`` bytes, then is routed by the address map to the target
-  :class:`~repro.soc.ports.SlavePort`,
-* the slave's reply is returned to the issuing master port.
-
-A :class:`BusMonitor` records every transaction that actually reached the bus
-(blocked-at-master transactions never show up here, which is exactly the
-containment property the firewalls must provide).
+This module re-exports the arbiters and the :class:`BusMonitor` so existing
+imports keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Optional
 
-from repro.soc.address_map import AddressMap, DecodeError
-from repro.soc.kernel import Component, Simulator
-from repro.soc.ports import MasterPort, SlavePort
-from repro.soc.transaction import BusTransaction, TransactionStatus
+from repro.soc.fabric.arbiters import Arbiter, FixedPriorityArbiter, RoundRobinArbiter
+from repro.soc.fabric.segment import BusMonitor, BusSegment
+from repro.soc.address_map import AddressMap
+from repro.soc.kernel import Simulator
 
-__all__ = ["SystemBus", "RoundRobinArbiter", "FixedPriorityArbiter", "BusMonitor"]
+__all__ = ["SystemBus", "RoundRobinArbiter", "FixedPriorityArbiter", "BusMonitor", "Arbiter"]
 
 
-class Arbiter:
-    """Interface for bus arbitration policies."""
+class SystemBus(BusSegment):
+    """Single shared bus connecting all master ports to all slave ports.
 
-    def add_master(self, master: str) -> None:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def select(self, waiting: Dict[str, Deque]) -> Optional[str]:  # pragma: no cover
-        """Pick the master whose oldest request is granted next, or None."""
-        raise NotImplementedError
-
-
-class RoundRobinArbiter(Arbiter):
-    """Fair rotation over masters that have a pending request.
-
-    The search for the next grant starts just after the master that was
-    granted last, so no master can be served twice while another is waiting —
-    even when masters register dynamically.
+    Exactly a :class:`BusSegment` under its historical name and defaults: the
+    flat-bus platforms of the paper build this class directly and behave
+    byte-identically to the pre-fabric tree (same latency stage ``"bus"``,
+    same statistics, same event schedule).
     """
-
-    def __init__(self) -> None:
-        self._order: List[str] = []
-        self._index: Dict[str, int] = {}
-        self._last_granted: Optional[str] = None
-
-    def add_master(self, master: str) -> None:
-        if master not in self._index:
-            self._index[master] = len(self._order)
-            self._order.append(master)
-
-    def select(self, waiting: Dict[str, Deque]) -> Optional[str]:
-        if not self._order:
-            return None
-        n = len(self._order)
-        start = 0
-        last = self._index.get(self._last_granted) if self._last_granted is not None else None
-        if last is not None:
-            start = (last + 1) % n
-        for offset in range(n):
-            candidate = self._order[(start + offset) % n]
-            if waiting.get(candidate):
-                self._last_granted = candidate
-                return candidate
-        return None
-
-
-class FixedPriorityArbiter(Arbiter):
-    """Masters are served strictly in the order they were registered."""
-
-    def __init__(self, priority: Optional[List[str]] = None) -> None:
-        self._order: List[str] = list(priority or [])
-
-    def add_master(self, master: str) -> None:
-        if master not in self._order:
-            self._order.append(master)
-
-    def select(self, waiting: Dict[str, Deque]) -> Optional[str]:
-        for candidate in self._order:
-            if waiting.get(candidate):
-                return candidate
-        return None
-
-
-@dataclass
-class BusMonitor:
-    """Records transactions observed on the bus (after arbitration).
-
-    This models the observability the paper relies on for "monitoring the
-    communications in order to check if any abnormal or unauthorized access to
-    the communication architecture is performed".
-    """
-
-    history: List[BusTransaction] = field(default_factory=list)
-    per_master: Dict[str, int] = field(default_factory=dict)
-    per_slave: Dict[str, int] = field(default_factory=dict)
-
-    def observe(self, txn: BusTransaction, slave: str) -> None:
-        self.history.append(txn)
-        self.per_master[txn.master] = self.per_master.get(txn.master, 0) + 1
-        self.per_slave[slave] = self.per_slave.get(slave, 0) + 1
-
-    def count(self) -> int:
-        return len(self.history)
-
-    def transactions_of(self, master: str) -> List[BusTransaction]:
-        return [t for t in self.history if t.master == master]
-
-
-class SystemBus(Component):
-    """Single shared bus connecting all master ports to all slave ports."""
 
     def __init__(
         self,
@@ -131,125 +45,13 @@ class SystemBus(Component):
         data_phase_cycles_per_beat: int = 1,
         bus_width: int = 4,
     ) -> None:
-        super().__init__(sim, name)
-        self.address_map = address_map or AddressMap()
-        self.arbiter = arbiter or RoundRobinArbiter()
-        self.address_phase_cycles = address_phase_cycles
-        self.data_phase_cycles_per_beat = data_phase_cycles_per_beat
-        self.bus_width = bus_width
-        self.monitor = BusMonitor()
-
-        self._master_ports: Dict[str, MasterPort] = {}
-        self._slave_ports: Dict[str, SlavePort] = {}
-        self._waiting: Dict[str, Deque[Tuple[BusTransaction, Callable]]] = {}
-        self._busy = False
-
-    # -- wiring ------------------------------------------------------------------
-
-    def connect_master(self, port: MasterPort) -> None:
-        """Attach a master port to the bus.
-
-        Arbitration queues are keyed by the *master name carried in each
-        transaction* (``txn.master``), not by the port name; they are created
-        lazily on the first submission from a given master, which also fixes
-        the round-robin ordering deterministically.
-        """
-        if port.name in self._master_ports:
-            raise ValueError(f"master port {port.name} already connected")
-        self._master_ports[port.name] = port
-        port.connect_bus(self)
-
-    def connect_slave(self, port: SlavePort, slave_name: Optional[str] = None) -> None:
-        """Attach a slave port to the bus.
-
-        ``slave_name`` is the name used in the address map's regions (defaults
-        to the port's device name, falling back to the port name).
-        """
-        key = slave_name or getattr(port.device, "name", None) or port.name
-        if key in self._slave_ports:
-            raise ValueError(f"slave {key} already connected")
-        self._slave_ports[key] = port
-
-    @property
-    def master_names(self) -> List[str]:
-        return list(self._master_ports)
-
-    @property
-    def slave_names(self) -> List[str]:
-        return list(self._slave_ports)
-
-    # -- request path ---------------------------------------------------------------
-
-    def submit(self, txn: BusTransaction, reply: Callable[[BusTransaction], None]) -> None:
-        """Queue a transaction for arbitration (called by a master port)."""
-        if txn.master not in self._waiting:
-            # An unregistered master (e.g. a raw attacker injector) still gets
-            # a queue so DoS experiments can flood the bus.
-            self._waiting[txn.master] = deque()
-            self.arbiter.add_master(txn.master)
-        self._waiting[txn.master].append((txn, reply))
-        self.bump("submitted")
-        self._try_grant()
-
-    def _try_grant(self) -> None:
-        if self._busy:
-            return
-        winner = self.arbiter.select(self._waiting)
-        if winner is None:
-            return
-        txn, reply = self._waiting[winner].popleft()
-        self._busy = True
-        txn.mark_granted(self.sim.now)
-        self.bump("granted")
-
-        transfer_cycles = (
-            self.address_phase_cycles
-            + self.data_phase_cycles_per_beat * txn.burst_length
+        super().__init__(
+            sim,
+            name,
+            address_map=address_map,
+            arbiter=arbiter,
+            address_phase_cycles=address_phase_cycles,
+            data_phase_cycles_per_beat=data_phase_cycles_per_beat,
+            bus_width=bus_width,
+            latency_stage="bus",
         )
-        txn.add_latency("bus", transfer_cycles)
-
-        try:
-            region = self.address_map.decode(txn.address, txn.size)
-        except DecodeError:
-            self.bump("decode_errors")
-            self.sim.schedule(transfer_cycles, self._finish_decode_error, txn, reply)
-            return
-
-        slave_port = self._slave_ports.get(region.slave)
-        if slave_port is None:
-            self.bump("decode_errors")
-            self.sim.schedule(transfer_cycles, self._finish_decode_error, txn, reply)
-            return
-
-        self.monitor.observe(txn, region.slave)
-        self.sim.schedule(
-            transfer_cycles, slave_port.deliver, txn, lambda t: self._on_slave_reply(t, reply)
-        )
-
-    def _finish_decode_error(self, txn: BusTransaction, reply: Callable) -> None:
-        txn.mark_blocked(self.sim.now, TransactionStatus.DECODE_ERROR, "address decode error")
-        self._release_and_reply(txn, reply)
-
-    # -- response path ----------------------------------------------------------------
-
-    def _on_slave_reply(self, txn: BusTransaction, reply: Callable[[BusTransaction], None]) -> None:
-        self._release_and_reply(txn, reply)
-
-    def _release_and_reply(self, txn: BusTransaction, reply: Callable[[BusTransaction], None]) -> None:
-        self._busy = False
-        self.bump("completed")
-        # Return path occupies the bus for one beat; folded into the response
-        # delivery so a long slave access does not hold the bus (split
-        # transactions, as PLBv46 and AXI do).
-        reply(txn)
-        self._try_grant()
-
-    # -- introspection ------------------------------------------------------------------
-
-    def pending_count(self) -> int:
-        """Transactions queued but not yet granted."""
-        return sum(len(q) for q in self._waiting.values())
-
-    def utilisation_summary(self) -> Dict[str, int]:
-        """Per-master counts of transactions that reached the bus."""
-        return dict(self.monitor.per_master)

@@ -1,0 +1,84 @@
+"""The interconnect abstraction.
+
+The paper evaluates one flat shared bus, but its claim — distributed
+firewalls at each IP's interface beat a centralized checker — is about
+*placement*, and placement only becomes a measurable axis once the
+interconnect has structure.  :class:`Interconnect` is the contract both
+implementations honour:
+
+* :class:`repro.soc.bus.SystemBus` — the original flat shared bus, now the
+  1-segment special case,
+* :class:`repro.soc.fabric.fabric.InterconnectFabric` — multiple
+  :class:`~repro.soc.fabric.segment.BusSegment` instances joined by
+  :class:`~repro.soc.fabric.bridge.BusBridge` components.
+
+:class:`repro.soc.system.SoCSystem` talks exclusively to this interface, so
+platform assembly, the security layer and the metrics layer are agnostic to
+whether they run on a flat bus or a deep hierarchy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.soc.address_map import AddressMap
+from repro.soc.ports import MasterPort, SlavePort
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect(abc.ABC):
+    """Wiring and observability contract of any interconnect implementation.
+
+    ``segment`` arguments select where a port attaches; a flat bus accepts
+    only ``None`` (or its own name), a fabric requires the name of one of its
+    segments (``None`` selects the default segment).
+    """
+
+    name: str
+
+    # -- wiring ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def connect_master(self, port: MasterPort, segment: Optional[str] = None) -> None:
+        """Attach a master port to the interconnect."""
+
+    @abc.abstractmethod
+    def connect_slave(
+        self,
+        port: SlavePort,
+        slave_name: Optional[str] = None,
+        segment: Optional[str] = None,
+    ) -> None:
+        """Attach a slave port under the name the address map routes to."""
+
+    # -- observability ---------------------------------------------------------------
+
+    #: The global address map (all regions, across every segment).  A plain
+    #: attribute/property on implementations; annotated rather than abstract so
+    #: the flat bus can keep assigning it in ``__init__``.
+    address_map: AddressMap
+
+    #: A monitor with the :class:`~repro.soc.fabric.segment.BusMonitor` read
+    #: API (``count``, ``per_master``, ``per_slave``, ``history``), aggregated
+    #: over every segment for a fabric.
+    monitor: object
+
+    @property
+    @abc.abstractmethod
+    def master_names(self) -> List[str]:
+        """Names of every connected master port."""
+
+    @property
+    @abc.abstractmethod
+    def slave_names(self) -> List[str]:
+        """Names of every connected slave (excluding bridge endpoints)."""
+
+    @abc.abstractmethod
+    def pending_count(self) -> int:
+        """Transactions queued but not yet granted, across every segment."""
+
+    @abc.abstractmethod
+    def utilisation_summary(self) -> Dict[str, int]:
+        """Per-master counts of transactions that reached the interconnect."""

@@ -41,6 +41,7 @@ __all__ = [
     "PassthroughFilter",
     "MasterPort",
     "SlavePort",
+    "apply_filter_chain",
 ]
 
 
@@ -186,6 +187,11 @@ def _apply_chain(
                 status=result.status,
             )
     return FilterResult(FilterAction.ALLOW, latency=total_latency, stage="chain")
+
+
+#: Public name for the chain semantics: bus bridges run the same filter chains
+#: as ports, so firewalls behave identically at either placement.
+apply_filter_chain = _apply_chain
 
 
 class MasterPort(Component):

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.soc.address_map import AddressMap
 from repro.soc.bus import Arbiter, RoundRobinArbiter, SystemBus
+from repro.soc.fabric import Interconnect
 from repro.soc.ip import DMAEngine, RegisterFileIP
 from repro.soc.kernel import Simulator
 from repro.soc.memory import BlockRAM, ExternalDDR
@@ -76,7 +77,7 @@ class SoCSystem:
     through :attr:`sim`.
     """
 
-    def __init__(self, sim: Simulator, bus: SystemBus, config: SoCConfig) -> None:
+    def __init__(self, sim: Simulator, bus: Interconnect, config: SoCConfig) -> None:
         self.sim = sim
         self.bus = bus
         self.config = config
@@ -114,37 +115,39 @@ class SoCSystem:
     # The reference builder below and the scenario engine
     # (:mod:`repro.scenarios.builder`) both assemble platforms from these
     # primitives, so an arbitrary topology gets the exact same port/bus wiring
-    # as the paper's Figure-1 system.
+    # as the paper's Figure-1 system.  ``segment`` selects which fabric
+    # segment the port attaches to; None means the default segment, which on
+    # the flat :class:`SystemBus` is the bus itself.
 
-    def add_memory(self, device) -> SlavePort:
+    def add_memory(self, device, segment: Optional[str] = None) -> SlavePort:
         """Connect a memory device as a bus slave; returns its slave port."""
         port = SlavePort(self.sim, f"{device.name}_port", device)
         self.memories[device.name] = device
         self.slave_ports[device.name] = port
-        self.bus.connect_slave(port)
+        self.bus.connect_slave(port, segment=segment)
         return port
 
-    def add_ip(self, device) -> SlavePort:
+    def add_ip(self, device, segment: Optional[str] = None) -> SlavePort:
         """Connect a slave IP (e.g. a register file); returns its slave port."""
         port = SlavePort(self.sim, f"{device.name}_port", device)
         self.ips[device.name] = device
         self.slave_ports[device.name] = port
-        self.bus.connect_slave(port)
+        self.bus.connect_slave(port, segment=segment)
         return port
 
-    def add_processor(self, name: str) -> Processor:
+    def add_processor(self, name: str, segment: Optional[str] = None) -> Processor:
         """Create a processor with its own master port on the bus."""
         port = MasterPort(self.sim, f"{name}_port")
-        self.bus.connect_master(port)
+        self.bus.connect_master(port, segment=segment)
         self.master_ports[name] = port
         processor = Processor(self.sim, name, port)
         self.processors[name] = processor
         return processor
 
-    def add_dma(self, name: str = "dma") -> DMAEngine:
+    def add_dma(self, name: str = "dma", segment: Optional[str] = None) -> DMAEngine:
         """Create a DMA master engine on the bus (also stored as :attr:`dma`)."""
         port = MasterPort(self.sim, f"{name}_port")
-        self.bus.connect_master(port)
+        self.bus.connect_master(port, segment=segment)
         self.master_ports[name] = port
         engine = DMAEngine(self.sim, name, port)
         if self.dma is None:
@@ -179,8 +182,15 @@ class SoCSystem:
         return max(finish_times)
 
     def describe_topology(self) -> Dict[str, object]:
-        """Structural description used to regenerate Figure 1 as a report."""
+        """Structural description used to regenerate Figure 1 as a report.
+
+        For fabric-based platforms the description additionally carries the
+        segment/bridge structure (under ``"fabric"``).
+        """
+        fabric_description = getattr(self.bus, "describe", None)
+        extra = {"fabric": fabric_description()} if callable(fabric_description) else {}
         return {
+            **extra,
             "bus": self.bus.name,
             "masters": {
                 name: {

@@ -46,7 +46,9 @@ class TransactionStatus(enum.Enum):
     stopped the access: the paper requires that an attack launched by an
     infected IP "must not reach the communication architecture but be stopped
     in the interface associated with the infected IP", which corresponds to
-    ``BLOCKED_AT_MASTER``.
+    ``BLOCKED_AT_MASTER``.  ``BLOCKED_AT_BRIDGE`` marks traffic stopped by a
+    bridge-placed firewall while crossing between fabric segments — the
+    centralized-enforcement analogue inside a hierarchical topology.
     """
 
     CREATED = "created"
@@ -55,6 +57,7 @@ class TransactionStatus(enum.Enum):
     COMPLETED = "completed"
     BLOCKED_AT_MASTER = "blocked_at_master"
     BLOCKED_AT_SLAVE = "blocked_at_slave"
+    BLOCKED_AT_BRIDGE = "blocked_at_bridge"
     DECODE_ERROR = "decode_error"
     INTEGRITY_ERROR = "integrity_error"
 
@@ -63,6 +66,7 @@ class TransactionStatus(enum.Enum):
         return self in (
             TransactionStatus.BLOCKED_AT_MASTER,
             TransactionStatus.BLOCKED_AT_SLAVE,
+            TransactionStatus.BLOCKED_AT_BRIDGE,
             TransactionStatus.INTEGRITY_ERROR,
         )
 

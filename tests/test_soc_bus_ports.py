@@ -244,3 +244,68 @@ class TestArbitration:
         sim.run()
         assert bus.pending_count() == 0
         assert bus.stats["granted"] == 3
+
+
+class TestDecodeCacheLRU:
+    """Regression tests for the bounded-LRU decode memo of AddressMap."""
+
+    def _map_with_regions(self, n=4):
+        amap = AddressMap()
+        for index in range(n):
+            amap.add_region(f"r{index}", 0x1000 * index, 0x1000, slave=f"s{index}")
+        return amap
+
+    def test_adding_a_region_invalidates_stale_answers(self):
+        amap = AddressMap()
+        amap.add_region("low", 0x0, 0x1000, slave="old")
+        assert amap.decode(0x10).slave == "old"  # now memoised
+        amap.add_region("high", 0x1000, 0x1000, slave="new")
+        assert amap.decode(0x1010).slave == "new"
+        # The memo was dropped on add; the old answer is recomputed, not stale.
+        assert amap.decode(0x10).slave == "old"
+
+    def test_remapping_a_region_invalidates_stale_answers(self):
+        amap = AddressMap()
+        amap.add_region("window", 0x0, 0x1000, slave="first_owner")
+        assert amap.decode(0x20).slave == "first_owner"  # memoised
+        removed = amap.remove_region("window")
+        assert removed.slave == "first_owner"
+        amap.add_region("window", 0x0, 0x1000, slave="second_owner")
+        # A stale memo would still answer "first_owner" here.
+        assert amap.decode(0x20).slave == "second_owner"
+        assert "window" in amap and len(amap) == 1
+
+    def test_remove_unknown_region_raises(self):
+        amap = self._map_with_regions()
+        with pytest.raises(KeyError, match="ghost"):
+            amap.remove_region("ghost")
+
+    def test_removed_region_no_longer_decodes(self):
+        amap = self._map_with_regions(2)
+        amap.decode(0x1000)
+        amap.remove_region("r1")
+        from repro.soc.address_map import DecodeError
+        with pytest.raises(DecodeError):
+            amap.decode(0x1000)
+
+    def test_eviction_is_lru_not_wholesale(self, monkeypatch):
+        amap = self._map_with_regions(1)
+        monkeypatch.setattr(AddressMap, "DECODE_CACHE_LIMIT", 4)
+        for address in (0x0, 0x4, 0x8, 0xC):
+            amap.decode(address)
+        assert len(amap._decode_cache) == 4
+        # Touch 0x0 so it becomes most-recently-used, then overflow the memo.
+        amap.decode(0x0)
+        amap.decode(0x10)
+        cached = set(amap._decode_cache)
+        assert len(cached) == 4, "one entry evicted, not a wholesale clear"
+        assert (0x4, 1) not in cached, "the least-recently-used entry is evicted"
+        assert (0x0, 1) in cached, "the recently-touched entry survives"
+        assert (0x10, 1) in cached
+
+    def test_cache_never_exceeds_limit_under_sweep(self, monkeypatch):
+        amap = self._map_with_regions(4)
+        monkeypatch.setattr(AddressMap, "DECODE_CACHE_LIMIT", 16)
+        for address in range(0, 0x4000, 4):
+            amap.decode(address)
+        assert len(amap._decode_cache) == 16
