@@ -25,7 +25,7 @@ from conftest import bench_rounds, write_bench_json, write_result
 from repro.analysis.tables import format_table
 from repro.attacks import DoSFloodAttack, HijackedIPAttack
 from repro.baselines import secure_platform_centralized
-from repro.core.secure import SecurityConfiguration, secure_platform
+from repro.core.secure import SecurityConfiguration, secure_reference_platform
 from repro.metrics.area import AreaModel
 from repro.soc.system import build_reference_platform
 from repro.soc.transaction import TransactionStatus
@@ -37,7 +37,7 @@ SECURITY = SecurityConfiguration(
 
 def build_distributed():
     system = build_reference_platform()
-    security = secure_platform(system, SECURITY)
+    security = secure_reference_platform(system, SECURITY)
     return system, security
 
 

@@ -26,11 +26,11 @@ from __future__ import annotations
 from conftest import FAST_MODE, bench_rounds, write_bench_json, write_result
 
 from repro.analysis.tables import format_table
+from repro.api import Experiment
 from repro.metrics.latency import aggregate_hop_latency, placement_split
 from repro.scenarios import (
     BridgeSpec,
     MasterSpec,
-    ScenarioBuilder,
     ScenarioSpec,
     SegmentSpec,
     SlaveSpec,
@@ -82,7 +82,7 @@ def fabric_spec(n_segments: int, cpus_per_segment: int) -> ScenarioSpec:
 
 
 def run_cell(n_segments: int, cpus_per_segment: int) -> dict:
-    built = ScenarioBuilder(fabric_spec(n_segments, cpus_per_segment)).build(True)
+    built = Experiment.from_spec(fabric_spec(n_segments, cpus_per_segment)).build()
     cycles = built.run_workload()
     assert built.system.all_done(), "every CPU must finish its program"
 

@@ -21,13 +21,13 @@ from conftest import write_bench_json, write_result
 from repro.analysis.report import ArchitectureReport
 from repro.core.ciphering_firewall import LocalCipheringFirewall
 from repro.core.local_firewall import LocalFirewall
-from repro.core.secure import SecurityConfiguration, secure_platform
+from repro.core.secure import SecurityConfiguration, secure_reference_platform
 from repro.soc.system import build_reference_platform
 
 
 def build_secured():
     system = build_reference_platform()
-    security = secure_platform(
+    security = secure_reference_platform(
         system, SecurityConfiguration(ddr_secure_size=2048, ddr_cipher_only_size=2048)
     )
     return system, security

@@ -1,8 +1,9 @@
 """Scenario-registry benchmark: arbitrary topologies through one harness.
 
 The ROADMAP's north star asks for "as many scenarios as you can imagine";
-this benchmark sweeps the whole scenario registry (the same one the
-differential test harness locks down), asserting that
+this benchmark sweeps the whole scenario registry through the unified
+``Experiment`` pipeline (the same surface the differential test harness, the
+examples and the ``python -m repro`` CLI use), asserting that
 
 * the registry holds at least the 8 canonical scenarios,
 * every scenario builds, runs its workload and keeps its attack-detection
@@ -10,7 +11,7 @@ differential test harness locks down), asserting that
   detected),
 * the scenario-backed parallel campaign runner reproduces the serial rows.
 
-The timed section is one full ``paper_baseline`` scenario run (build +
+The timed section is one full ``paper_baseline`` experiment (build +
 workload + attack mix), i.e. the end-to-end cost of evaluating one topology.
 """
 
@@ -19,31 +20,23 @@ from __future__ import annotations
 from conftest import bench_rounds, write_bench_json, write_result
 
 from repro.analysis.tables import format_table
-from repro.attacks import CampaignRunner
-from repro.scenarios import ScenarioBuilder, get_scenario, list_scenarios
+from repro.api import Experiment
+from repro.scenarios import get_scenario, list_scenarios
 
 
 def run_scenario_once(name: str) -> dict:
+    result = Experiment.from_scenario(name).run()
     spec = get_scenario(name)
-    builder = ScenarioBuilder(spec)
-    built = builder.build(protected=True)
-    cycles = built.run_workload()
-
-    detected = 0
-    attacks = built.attacks()
-    for attack in attacks:
-        protected = builder.build(protected=True)
-        result = attack.run(protected.system, protected.security)
-        detected += int(result.detected)
+    campaign = result.campaign or {"summary": {"attacks": 0, "detected": 0}}
     return {
         "scenario": name,
         "masters": len(spec.topology.masters),
         "slaves": len(spec.topology.slaves),
-        "enforcement": spec.enforcement,
-        "placement": spec.placement,
-        "cycles": cycles,
-        "attacks": len(attacks),
-        "detected": detected,
+        "enforcement": result.enforcement,
+        "placement": result.placement,
+        "cycles": result.workload["final_cycle"],
+        "attacks": campaign["summary"]["attacks"],
+        "detected": campaign["summary"]["detected"],
     }
 
 
@@ -71,10 +64,16 @@ def test_scenario_registry_matrix(benchmark, results_dir):
             )
 
     # The scenario-backed sharded campaign must reproduce the serial rows.
-    serial = CampaignRunner.from_scenario("paper_baseline", n_workers=1).run()
-    sharded = CampaignRunner.from_scenario("paper_baseline", n_workers=2).run()
-    assert [r.attack for r in serial.rows] == [r.attack for r in sharded.rows]
-    assert serial.monitor_totals == sharded.monitor_totals
+    serial = (
+        Experiment.from_scenario("paper_baseline").with_workload(None).campaign(1).run()
+    )
+    sharded = (
+        Experiment.from_scenario("paper_baseline").with_workload(None).campaign(2).run()
+    )
+    assert [r["attack"] for r in serial.campaign["rows"]] == [
+        r["attack"] for r in sharded.campaign["rows"]
+    ]
+    assert serial.campaign["monitor_totals"] == sharded.campaign["monitor_totals"]
 
     benchmark.pedantic(
         lambda: run_scenario_once("paper_baseline"),

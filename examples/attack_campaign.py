@@ -11,25 +11,19 @@ then prints the resulting detection/prevention matrix:
 * a hijacked DMA engine exfiltrating secrets to unprotected memory,
 * a denial-of-service flood from a hijacked processor.
 
-The campaign is sharded across worker processes by the parallel
-CampaignRunner; results are identical for any worker count.
+The whole pipeline runs through the unified ``Experiment`` façade: the
+``paper_baseline`` scenario's attack mix is sharded across worker processes
+by the parallel campaign runner (results are identical for any worker
+count), and the shard-merged instrumentation counters come back in the same
+uniform result record.
 
 Run with:  python examples/attack_campaign.py [--workers N | --serial]
+Equivalent CLI:  python -m repro campaign paper_baseline [--workers N]
 """
 
 import argparse
 
-from repro.attacks import (
-    CampaignRunner,
-    DoSFloodAttack,
-    ExfiltrationAttack,
-    HijackedIPAttack,
-    RelocationAttack,
-    ReplayAttack,
-    SensitiveRegisterProbe,
-    SpoofingAttack,
-)
-from repro.core.secure import SecurityConfiguration
+from repro.api import Experiment, StatsSink
 from repro.analysis.tables import format_table
 
 
@@ -41,24 +35,14 @@ def main() -> None:
                         help="run everything in-process")
     args = parser.parse_args()
 
-    runner = CampaignRunner(
-        [
-            SpoofingAttack(),
-            ReplayAttack(),
-            RelocationAttack(),
-            SensitiveRegisterProbe(),
-            HijackedIPAttack(),
-            ExfiltrationAttack(),
-            DoSFloodAttack(n_requests=100),
-        ],
-        security_config=SecurityConfiguration(
-            ddr_secure_size=4096,
-            ddr_cipher_only_size=4096,
-            flood_threshold=20,
-        ),
-        n_workers=1 if args.serial else args.workers,
+    result = (
+        Experiment.from_scenario("paper_baseline")
+        .with_workload(None)                      # campaign only, no workload phase
+        .campaign(n_workers=1 if args.serial else args.workers)
+        .with_sink(StatsSink())                   # shard-merged event counters
+        .run()
     )
-    report = runner.run()
+    campaign = result.campaign
 
     rows = [
         [
@@ -69,7 +53,7 @@ def main() -> None:
             row["contained_at_if"],
             row["detection_cycle"],
         ]
-        for row in report.as_table_rows()
+        for row in campaign["rows"]
     ]
     print(
         format_table(
@@ -80,17 +64,21 @@ def main() -> None:
         )
     )
     print()
-    summary = report.summary()
+    summary = campaign["summary"]
+    metrics = campaign["metrics"]
     print(f"attacks run        : {summary['attacks']}")
     print(f"prevented          : {summary['prevented']} "
           f"({100 * summary['prevention_rate']:.0f}%)")
     print(f"detected           : {summary['detected']} "
           f"({100 * summary['detection_rate']:.0f}%)")
-    print(f"workers            : {report.metrics.get('n_workers', 1)} "
-          f"({report.metrics.get('wall_seconds', 0.0):.2f}s wall)")
-    if report.monitor_totals:
+    print(f"workers            : {metrics.get('n_workers', 1)} "
+          f"({metrics.get('wall_seconds', 0.0):.2f}s wall)")
+    if campaign["monitor_totals"]:
         print("alerts by violation:",
-              ", ".join(f"{k}={v}" for k, v in sorted(report.monitor_totals.items())))
+              ", ".join(f"{k}={v}" for k, v in sorted(campaign["monitor_totals"].items())))
+    if campaign["event_totals"]:
+        print("events (all shards):",
+              ", ".join(f"{k}={v}" for k, v in sorted(campaign["event_totals"].items())))
 
 
 if __name__ == "__main__":

@@ -17,7 +17,8 @@ attacks against the system."  This example exercises that extension:
 Run with:  python examples/policy_reconfiguration.py
 """
 
-from repro import build_reference_platform, secure_platform
+from repro import build_reference_platform, secure_reference_platform
+from repro.api import InMemorySink, attach_instrumentation, EventBus
 from repro.core.manager import ReactionPolicy
 from repro.core.secure import SecurityConfiguration, default_policies
 from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
@@ -42,7 +43,7 @@ def read(system, master, address):
 
 def main() -> None:
     system = build_reference_platform()
-    security = secure_platform(
+    security = secure_reference_platform(
         system,
         SecurityConfiguration(
             ddr_secure_size=2048,
@@ -50,6 +51,10 @@ def main() -> None:
             reaction=ReactionPolicy(quarantine_after=3),
         ),
     )
+    # Subscribe an in-memory sink: alerts, quarantines and policy rewrites
+    # arrive as structured events instead of being dug out of the monitor.
+    events = InMemorySink()
+    attach_instrumentation(system, security, EventBus([events]))
     cfg = system.config
     manager = security.manager
     mailbox = cfg.bram_base + 0x1000
@@ -87,11 +92,15 @@ def main() -> None:
     assert txn_read.status is TransactionStatus.COMPLETED
     assert txn_write.status is TransactionStatus.BLOCKED_AT_MASTER
 
-    # 4. Full audit trail.
-    print("\nmanager reactions:")
-    for event in manager.reactions:
-        print(f"  cycle {event.cycle:>6}: {event.kind:<20} target={event.target} {event.detail}")
-    print("\nalerts by violation type:", security.monitor.summary()["by_violation"])
+    # 4. Full audit trail, straight from the instrumentation event bus.
+    print("\nsecurity events (reaction + reconfiguration stream):")
+    for event in events.events:
+        if event.kind.startswith("security.rea") or event.kind == "security.reconfiguration":
+            data = event.data
+            print(f"  cycle {event.cycle:>6}: {data.get('reaction', event.kind):<20} "
+                  f"target={data.get('target', data.get('master', '?'))} {data.get('detail', '')}")
+    print("\nevent counts:", {k: v for k, v in sorted(events.counts.items())})
+    print("alerts by violation type:", security.monitor.summary()["by_violation"])
 
 
 if __name__ == "__main__":

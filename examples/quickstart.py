@@ -1,31 +1,34 @@
 #!/usr/bin/env python3
 """Quickstart: build the paper's platform, protect it, run traffic, attack it.
 
-This walks through the complete public API in five steps:
+This walks through the public API in five steps:
 
-1. build the unprotected reference platform (3 MicroBlaze-like CPUs, BRAM,
-   external DDR, one dedicated IP on a shared bus -- the paper's Figure 1),
-2. attach the distributed security enhancements (Local Firewalls on every
-   interface, Local Ciphering Firewall on the external memory),
-3. run legitimate traffic and observe that it completes with zero alerts
+1. build the protected reference platform (3 MicroBlaze-like CPUs, BRAM,
+   external DDR, one dedicated IP on a shared bus -- the paper's Figure 1,
+   with Local Firewalls on every interface and a Local Ciphering Firewall on
+   the external memory),
+2. run legitimate traffic and observe that it completes with zero alerts
    while the external memory only ever holds ciphertext,
-4. let a hijacked IP issue an unauthorized access and watch it being blocked
+3. let a hijacked IP issue an unauthorized access and watch it being blocked
    *at its own interface*, before it reaches the shared bus,
-5. print the security monitor's summary.
+4. print the security monitor's summary,
+5. run the same claim as a one-liner through the unified ``Experiment``
+   façade -- the scenario-to-report pipeline everything else builds on.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import build_reference_platform, secure_platform
+from repro import build_reference_platform, secure_reference_platform
+from repro.api import Experiment
 from repro.core.secure import SecurityConfiguration
 from repro.soc.processor import MemoryOperation, ProcessorProgram
 from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
 
 
 def main() -> None:
-    # ------------------------------------------------------------------ 1+2
+    # ------------------------------------------------------------------ 1
     system = build_reference_platform()
-    security = secure_platform(
+    security = secure_reference_platform(
         system,
         SecurityConfiguration(ddr_secure_size=4096, ddr_cipher_only_size=4096),
     )
@@ -33,7 +36,7 @@ def main() -> None:
     print("Firewalls attached:", ", ".join(fw.name for fw in security.all_firewalls))
     print()
 
-    # ------------------------------------------------------------------ 3
+    # ------------------------------------------------------------------ 2
     cfg = system.config
     secret = b"user PIN = 4242!"
     program = ProcessorProgram(
@@ -63,7 +66,7 @@ def main() -> None:
     assert readback == secret and raw_in_ddr != secret
     print()
 
-    # ------------------------------------------------------------------ 4
+    # ------------------------------------------------------------------ 3
     # A hijacked DMA engine tries to read the dedicated IP's key registers.
     probe = BusTransaction(
         master="dma", operation=BusOperation.READ, address=cfg.ip_regs_base, width=4
@@ -77,10 +80,23 @@ def main() -> None:
     assert probe.status is TransactionStatus.BLOCKED_AT_MASTER
     print()
 
-    # ------------------------------------------------------------------ 5
+    # ------------------------------------------------------------------ 4
     print("security monitor summary:")
     for key, value in security.monitor.summary().items():
         print(f"  {key}: {value}")
+    print()
+
+    # ------------------------------------------------------------------ 5
+    # The same platform, workload and attack mix as a registered scenario,
+    # through the unified pipeline: one call from scenario name to report.
+    result = Experiment.from_scenario("paper_baseline").run()
+    campaign = result.campaign["summary"]
+    print("Experiment('paper_baseline').run():")
+    print(f"  workload final cycle : {result.workload['final_cycle']}")
+    print(f"  workload alerts      : {result.alerts['total']}")
+    print(f"  attacks prevented    : {campaign['prevented']}/{campaign['attacks']}")
+    print(f"  attacks detected     : {campaign['detected']}/{campaign['attacks']}")
+    assert campaign["detected"] == campaign["attacks"]
 
 
 if __name__ == "__main__":

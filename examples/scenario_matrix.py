@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
 """Scenario matrix: sweep the registry of SoC topologies.
 
-Runs every registered scenario (or a chosen one) end to end: builds the
-topology, attaches the firewalls, drives the workload mix, runs the attack
-mix on protected and unprotected builds, and prints one summary row per
-scenario.  With ``--differential`` each scenario additionally runs twice —
-fast paths enabled vs. reference implementations forced — and the structural
-fingerprints (alerts, cycle counts, ciphertexts) are compared.
+Runs every registered scenario (or a chosen one) through the unified
+``Experiment`` pipeline: builds the topology, attaches the firewalls, drives
+the workload mix, runs the attack mix on protected and unprotected builds,
+and prints one summary row per scenario.  With ``--differential`` each
+scenario additionally runs twice — fast paths enabled vs. reference
+implementations forced — and the structural fingerprints (alerts, cycle
+counts, ciphertexts) are compared.
 
 Run with:
     python examples/scenario_matrix.py                 # full registry
     python examples/scenario_matrix.py --list          # names + descriptions
     python examples/scenario_matrix.py --scenario crypto_heavy
     python examples/scenario_matrix.py --differential  # golden-model check
+
+Equivalent CLI:  python -m repro list / python -m repro run <scenario>
 """
 
 import argparse
@@ -20,48 +23,27 @@ import sys
 import time
 
 from repro.analysis.tables import format_table
-from repro.scenarios import (
-    ScenarioBuilder,
-    assert_equivalent,
-    differential_pair,
-    get_scenario,
-    list_scenarios,
-)
+from repro.api import Experiment
+from repro.scenarios import assert_equivalent, differential_pair, get_scenario, list_scenarios
 
 
 def run_one(name: str) -> dict:
-    """Build and drive one scenario; returns its summary row."""
-    spec = get_scenario(name)
-    builder = ScenarioBuilder(spec)
-
-    built = builder.build(protected=True)
+    """Run one scenario end to end; returns its summary row."""
     started = time.perf_counter()
-    cycles = built.run_workload()
-    alerts = len(built.monitor.alerts) if built.monitor else 0
-
-    prevented = detected = 0
-    attacks = built.attacks()
-    for attack in attacks:
-        plain = builder.build(protected=False)
-        unprotected = attack.run(plain.system, None)
-        protected = builder.build(protected=True)
-        result = attack.run(protected.system, protected.security)
-        if unprotected.achieved_goal and not result.achieved_goal:
-            prevented += 1
-        if result.detected:
-            detected += 1
-
-    topology = spec.topology
+    result = Experiment.from_scenario(name).run()
+    campaign = result.campaign or {"summary": {"attacks": 0, "prevented": 0, "detected": 0}}
+    summary = campaign["summary"]
+    spec = get_scenario(name)
     return {
         "scenario": name,
-        "masters": len(topology.masters),
-        "slaves": len(topology.slaves),
-        "enforcement": spec.enforcement,
-        "cycles": cycles,
-        "workload_alerts": alerts,
-        "attacks": len(attacks),
-        "prevented": prevented,
-        "detected": detected,
+        "masters": len(spec.topology.masters),
+        "slaves": len(spec.topology.slaves),
+        "enforcement": result.enforcement,
+        "cycles": result.workload["final_cycle"],
+        "workload_alerts": result.alerts["total"] if result.alerts else 0,
+        "attacks": summary["attacks"],
+        "prevented": summary["prevented"],
+        "detected": summary["detected"],
         "seconds": time.perf_counter() - started,
     }
 

@@ -18,7 +18,7 @@ the processors.  This example:
 Run with:  python examples/secure_firmware_update.py
 """
 
-from repro import build_reference_platform, secure_platform
+from repro import build_reference_platform, secure_reference_platform
 from repro.core.secure import SecurityConfiguration
 from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
 from repro.workloads.patterns import firmware_update_program
@@ -42,7 +42,7 @@ def read_word(system, address, size=16):
 
 def main() -> None:
     system = build_reference_platform()
-    security = secure_platform(
+    security = secure_reference_platform(
         system, SecurityConfiguration(ddr_secure_size=4096, ddr_cipher_only_size=0)
     )
     cfg = system.config

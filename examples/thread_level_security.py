@@ -19,6 +19,7 @@ detected compromise) and its next access is blocked too.
 Run with:  python examples/thread_level_security.py
 """
 
+from repro.api import EventBus, InMemorySink
 from repro.core import (
     ConfigurationMemory,
     SecurityMonitor,
@@ -40,6 +41,10 @@ REGION = 0x2000
 
 def main() -> None:
     sim = Simulator()
+    # Even a hand-assembled platform gets instrumentation for free: attach an
+    # event bus to the kernel and every component publishes through it.
+    events = InMemorySink()
+    sim.event_bus = EventBus([events])
     amap = AddressMap()
     amap.add_region("bram", 0x0, 0x8000, slave="bram")
     bus = SystemBus(sim, address_map=amap)
@@ -47,6 +52,7 @@ def main() -> None:
     bus.connect_slave(SlavePort(sim, "bram_port", bram))
 
     monitor = SecurityMonitor()
+    monitor.event_bus = sim.event_bus
     rules = ConfigurationMemory("cfg_cpu0", capacity=4)
     rules.add(PUBLIC_BASE, REGION, SecurityPolicy(spi=1), label="public")
     rules.add(KEY_VAULT_BASE, REGION, SecurityPolicy(spi=2), label="key_vault")
@@ -95,6 +101,10 @@ def main() -> None:
     print("demoted thread reads vault  :", txn.status.value)
     print("total alerts                :", monitor.count())
     print("firewall summary            :", firewall.summary())
+    blocked = events.of_kind("txn.blocked")
+    print("event-bus view              :", dict(sorted(events.counts.items())))
+    print("blocked at interface        :",
+          [f"cycle {e.cycle} {e.data['master']}@{e.data['address']:#x}" for e in blocked])
 
 
 if __name__ == "__main__":

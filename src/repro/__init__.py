@@ -19,18 +19,33 @@ The package is organised bottom-up:
   execution-overhead analysis,
 * :mod:`repro.analysis` -- tables, architecture reports, paper comparison.
 
+* :mod:`repro.api` -- the unified experiment API: the ``Experiment`` façade
+  (scenario -> build -> workload -> campaign -> ``ExperimentResult``), the
+  instrumentation event bus and the ``python -m repro`` CLI.
+
 Quickstart::
 
-    from repro import build_reference_platform, secure_platform
+    from repro.api import Experiment
+    result = Experiment.from_scenario("paper_baseline").run()
+    print(result.to_json())
+
+or, for handle-level access to the reference platform::
+
+    from repro import build_reference_platform, secure_reference_platform
     system = build_reference_platform()
-    security = secure_platform(system)
+    security = secure_reference_platform(system)
     # load programs, run, inspect security.monitor ...
 
 See ``examples/quickstart.py`` for a complete walk-through.
 """
 
 from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
-from repro.core.secure import SecurityConfiguration, SecuredPlatform, secure_platform
+from repro.core.secure import (
+    SecurityConfiguration,
+    SecuredPlatform,
+    secure_platform,
+    secure_reference_platform,
+)
 from repro.core.policy import (
     ConfidentialityMode,
     ConfigurationMemory,
@@ -53,6 +68,9 @@ __all__ = [
     "SecurityConfiguration",
     "SecuredPlatform",
     "secure_platform",
+    "secure_reference_platform",
+    "Experiment",
+    "ExperimentResult",
     "SecurityPolicy",
     "ConfigurationMemory",
     "ReadWriteAccess",
@@ -64,3 +82,14 @@ __all__ = [
     "ViolationType",
     "SecurityPolicyManager",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-exports of the unified experiment API: ``repro.api`` pulls in
+    # the scenario and attack layers, which would make ``import repro``
+    # needlessly heavy (and cyclic) if imported eagerly here.
+    if name in ("Experiment", "ExperimentResult"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,46 @@
+"""Once-per-process deprecation warnings for the legacy entry points.
+
+The unified experiment API (:mod:`repro.api`) supersedes several standalone
+entry points (``secure_platform``, direct ``ScenarioBuilder.build`` use,
+``CampaignRunner.from_scenario``).  Those remain fully functional as thin
+shims over the new layer, but each announces itself exactly once per process
+— loud enough to steer new code, quiet enough not to spam a campaign that
+calls the shim thousands of times.
+
+This module has no intra-package imports so every layer can use it without
+creating cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset", "already_warned"]
+
+_SEEN: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen.
+
+    Returns True when the warning was actually emitted.  Deduplication is
+    keyed on ``key`` (not on the caller's location, as the :mod:`warnings`
+    registry would be), so a shim warns exactly once per process no matter
+    how many distinct call sites hit it.
+    """
+    if key in _SEEN:
+        return False
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def already_warned(key: str) -> bool:
+    """Whether ``key``'s warning has fired in this process."""
+    return key in _SEEN
+
+
+def reset() -> None:
+    """Forget every emitted warning (test isolation only)."""
+    _SEEN.clear()

@@ -17,6 +17,7 @@ __all__ = [
     "PaperComparison",
     "render_table1",
     "render_table2",
+    "render_experiment",
 ]
 
 
@@ -131,6 +132,71 @@ class ExperimentRecord:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def render_experiment(result: Dict[str, object]) -> str:
+    """Human-readable report for one ``ExperimentResult.to_dict()`` payload.
+
+    Takes the serialized dictionary (not the dataclass) so the analysis layer
+    depends only on the stable result schema, never on :mod:`repro.api`.
+    """
+    lines: List[str] = []
+    lines.append(f"Experiment: {result['scenario']} -- {result['description']}")
+    lines.append(
+        f"  build      : {'protected' if result['protected'] else 'unprotected'}"
+        f" ({result['enforcement']}, placement={result['placement']})"
+        + (" [reference mode]" if result.get("reference") else "")
+    )
+    workload = result["workload"]
+    lines.append(
+        f"  workload   : {workload['operations']} ops/CPU, final cycle "
+        f"{workload['final_cycle']}, makespan {workload['makespan']}, "
+        f"{workload['events_processed']} kernel events"
+    )
+    alerts = result.get("alerts")
+    if alerts is not None:
+        by_violation = ", ".join(f"{k}={v}" for k, v in sorted(alerts["by_violation"].items()))
+        lines.append(f"  alerts     : {alerts['total']}" + (f" ({by_violation})" if by_violation else ""))
+    security = result.get("security")
+    if security is not None:
+        counts = security["firewall_counts"]
+        lines.append(
+            "  firewalls  : "
+            + ", ".join(f"{counts[k]} {k}" for k in ("master", "slave", "bridge", "ciphering"))
+        )
+    per_hop = result["latency"].get("per_hop") or {}
+    if per_hop:
+        hops = ", ".join(f"{k}={v}" for k, v in sorted(per_hop.items()))
+        lines.append(f"  hop cycles : {hops}")
+    area = result.get("area")
+    if area:
+        overhead = area["overhead_vs_baseline"].get("slice_luts", 0.0)
+        lines.append(
+            f"  area       : {area['resources']['slice_luts']:.0f} LUTs "
+            f"(+{100 * float(overhead):.1f}% vs baseline)"
+        )
+    campaign = result.get("campaign")
+    if campaign:
+        summary = campaign["summary"]
+        lines.append(
+            f"  campaign   : {summary['attacks']} attacks, "
+            f"{summary['prevented']} prevented, {summary['detected']} detected"
+        )
+        rows = [
+            [row["attack"], row["unprotected"], row["protected"], row["detected"],
+             row["contained_at_if"], row["detection_cycle"]]
+            for row in campaign["rows"]
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ["attack", "unprotected", "protected", "detected", "contained", "detection cycle"],
+            rows,
+        ))
+    events = result.get("events")
+    if events:
+        lines.append("")
+        lines.append("  events     : " + ", ".join(f"{k}={v}" for k, v in sorted(events.items())))
+    return "\n".join(lines)
 
 
 def render_table1(rows: Sequence[Table1Row], title: str = "Table I -- synthesis results (area model)") -> str:

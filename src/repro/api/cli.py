@@ -1,0 +1,149 @@
+"""``python -m repro`` / ``repro``: the experiment pipeline from a shell.
+
+Subcommands:
+
+* ``repro list [--json]`` — registered scenarios with their descriptions,
+* ``repro run SCENARIO [--json] [--trace FILE] [--unprotected] [--reference]
+  [--no-attacks] [--workers N] [--seed N]`` — one full experiment; human
+  report by default, the schema-stable :class:`ExperimentResult` JSON with
+  ``--json``, a JSONL instrumentation trace with ``--trace``,
+* ``repro campaign SCENARIO [--json] [--workers N] [--seed N]`` — the
+  scenario's attack campaign only (sharded), printed as a detection matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.api.events import JsonlTraceSink, StatsSink
+from repro.api.experiment import Experiment
+from repro.analysis.report import render_experiment
+from repro.analysis.tables import format_table
+from repro.scenarios import get_scenario, list_scenarios
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-firewall MPSoC reproduction: run experiments from the shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    run_cmd = sub.add_parser("run", help="run one scenario end to end")
+    run_cmd.add_argument("scenario", help="registered scenario name")
+    run_cmd.add_argument("--json", action="store_true", help="emit the ExperimentResult as JSON")
+    run_cmd.add_argument("--trace", metavar="FILE", default=None,
+                         help="write a JSONL instrumentation trace to FILE")
+    run_cmd.add_argument("--unprotected", action="store_true",
+                         help="drive the workload on the unprotected build")
+    run_cmd.add_argument("--reference", action="store_true",
+                         help="force the reference implementations (differential mode)")
+    run_cmd.add_argument("--no-attacks", action="store_true",
+                         help="skip the scenario's attack campaign")
+    run_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="campaign worker processes (default: 1, serial)")
+    run_cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
+
+    campaign_cmd = sub.add_parser("campaign", help="run only the scenario's attack campaign")
+    campaign_cmd.add_argument("scenario", help="registered scenario name")
+    campaign_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    campaign_cmd.add_argument("--workers", type=int, default=None, metavar="N",
+                              help="worker processes (default: one per attack, capped)")
+    campaign_cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = list_scenarios()
+    if args.json:
+        payload = [
+            {"name": name, "description": get_scenario(name).description} for name in names
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name in names:
+        print(f"{name:32s} {get_scenario(name).description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = (
+        Experiment.from_scenario(args.scenario)
+        .protected(not args.unprotected)
+        .reference(args.reference)
+        .with_seed(args.seed)
+        .campaign(args.workers)
+    )
+    if args.no_attacks:
+        experiment.no_attacks()
+    trace_sink = None
+    if args.trace:
+        trace_sink = JsonlTraceSink(args.trace)
+        experiment.with_sink(trace_sink)
+        experiment.with_sink(StatsSink())
+
+    result = experiment.run()
+    if trace_sink is not None:
+        trace_sink.close()   # the CLI opened the file, so the CLI closes it
+
+    if args.json:
+        print(result.to_json())
+    else:
+        print(render_experiment(result.to_dict()))
+        if trace_sink is not None:
+            print(f"\ntrace: {trace_sink.events_written} events -> {args.trace}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    result = (
+        Experiment.from_scenario(args.scenario)
+        .with_seed(args.seed)
+        .campaign(args.workers)
+        .with_workload(None)
+        .run()
+    )
+    campaign = result.campaign
+    if campaign is None:
+        print(f"scenario {args.scenario!r} has no attack mix", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(campaign, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [row["attack"], row["unprotected"], row["protected"], row["detected"],
+         row["contained_at_if"], row["detection_cycle"]]
+        for row in campaign["rows"]
+    ]
+    print(format_table(
+        ["attack", "unprotected", "protected", "detected", "contained", "detection cycle"],
+        rows,
+        title=f"Attack campaign -- {args.scenario}",
+    ))
+    summary = campaign["summary"]
+    print(f"\nattacks={summary['attacks']} prevented={summary['prevented']} "
+          f"detected={summary['detected']} "
+          f"workers={campaign['metrics'].get('n_workers', 1)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_campaign(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.base import Attack, AttackResult
-from repro.core.secure import SecuredPlatform, SecurityConfiguration, secure_platform
+from repro.core.secure import SecuredPlatform, SecurityConfiguration, secure_reference_platform
 from repro.soc.system import SoCConfig, SoCSystem, build_reference_platform
 
 __all__ = ["AttackCampaign", "CampaignReport", "default_platform_factory"]
@@ -38,7 +38,7 @@ def default_platform_factory(
         if not protected:
             return system, None
         config = security_config or SecurityConfiguration(flood_threshold=20)
-        security = secure_platform(system, config)
+        security = secure_reference_platform(system, config)
         return system, security
 
     return factory
@@ -76,6 +76,10 @@ class CampaignReport:
     rows: List[CampaignRow] = field(default_factory=list)
     monitor_totals: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Instrumentation-event counts per kind, merged across shards when the
+    #: campaign ran with ``collect_events=True`` (empty otherwise).  Merging
+    #: is additive, so any worker count yields the same totals as a serial run.
+    event_totals: Dict[str, int] = field(default_factory=dict)
 
     def add(self, row: CampaignRow) -> None:
         self.rows.append(row)

@@ -155,20 +155,49 @@ def _run_campaign_shard(
         Optional[SoCConfig],
         Optional[SecurityConfiguration],
         Optional["ScenarioSpec"],
+        bool,
     ],
-) -> Tuple[int, float, List[Tuple[int, CampaignRow, Dict[str, int]]]]:
-    """Run one shard's attacks on fresh platforms; returns indexed rows plus
-    the per-attack protected-monitor summaries."""
-    shard_index, base_seed, attack_items, soc_config, security_config, scenario_spec = payload
+) -> Tuple[int, float, List[Tuple[int, CampaignRow, Dict[str, int]]], Dict[str, int]]:
+    """Run one shard's attacks on fresh platforms.
+
+    Returns indexed rows, the per-attack protected-monitor summaries, and —
+    when ``collect_events`` is set — this shard's instrumentation-event
+    counts (a counting-only :class:`~repro.api.events.StatsSink` attached to
+    every platform the shard builds; counts are additive so the merged totals
+    are identical for any worker count).
+    """
+    (
+        shard_index,
+        base_seed,
+        attack_items,
+        soc_config,
+        security_config,
+        scenario_spec,
+        collect_events,
+    ) = payload
     random.seed(shard_seed(base_seed, shard_index))
     factory = _shard_platform_factory(scenario_spec, soc_config, security_config)
+    stats = event_bus = None
+    if collect_events:
+        # Imported lazily: repro.api composes the attack layer, not vice versa.
+        from repro.api.events import EventBus, StatsSink
+
+        stats = StatsSink()
+        event_bus = EventBus([stats])
     started = time.perf_counter()
     out: List[Tuple[int, CampaignRow, Dict[str, int]]] = []
     for index, attack in attack_items:
         system_plain, _ = factory(False)
+        if event_bus is not None:
+            system_plain.sim.event_bus = event_bus
         unprotected_result = attack.run(system_plain, None)
 
         system_secure, security = factory(True)
+        if event_bus is not None:
+            system_secure.sim.event_bus = event_bus
+            monitor = getattr(security, "monitor", None)
+            if monitor is not None:
+                monitor.event_bus = event_bus
         protected_result = attack.run(system_secure, security)
 
         violations: Dict[str, int] = {}
@@ -189,7 +218,8 @@ def _run_campaign_shard(
                 violations,
             )
         )
-    return shard_index, time.perf_counter() - started, out
+    event_counts = dict(stats.counts) if stats is not None else {}
+    return shard_index, time.perf_counter() - started, out, event_counts
 
 
 class CampaignRunner:
@@ -205,17 +235,22 @@ class CampaignRunner:
         :func:`default_platform_factory` — configurations are shipped to the
         workers instead of factory closures, which do not pickle.
     scenario:
-        Name of a registered scenario (see :mod:`repro.scenarios.registry`);
-        when set, the spec is resolved once here and shipped to each worker,
-        which rebuilds that scenario's platform instead of the reference
-        platform (``soc_config``/``security_config`` are then ignored).
-        Prefer :meth:`from_scenario`, which also pulls the scenario's attack
-        mix.
+        A registered scenario name (see :mod:`repro.scenarios.registry`) or a
+        :class:`~repro.scenarios.spec.ScenarioSpec` instance; when set, the
+        spec is shipped to each worker, which rebuilds that scenario's
+        platform instead of the reference platform
+        (``soc_config``/``security_config`` are then ignored).  Passing a
+        spec directly is how :class:`repro.api.Experiment` runs modified
+        scenarios (overridden attack mixes) through the sharded path.
     n_workers:
         Worker processes; ``None`` picks :func:`default_worker_count`, ``1``
         forces the serial in-process path.
     base_seed:
         Root of the deterministic per-shard seeding.
+    collect_events:
+        Attach a counting-only instrumentation sink inside every shard and
+        merge the per-kind event counts into
+        :attr:`~repro.attacks.campaign.CampaignReport.event_totals`.
     """
 
     def __init__(
@@ -225,7 +260,8 @@ class CampaignRunner:
         security_config: Optional[SecurityConfiguration] = None,
         n_workers: Optional[int] = None,
         base_seed: int = 0,
-        scenario: Optional[str] = None,
+        scenario=None,
+        collect_events: bool = False,
     ) -> None:
         if not attacks:
             raise ValueError("campaign needs at least one attack")
@@ -234,12 +270,17 @@ class CampaignRunner:
         self.security_config = security_config
         self.n_workers = n_workers
         self.base_seed = base_seed
-        self.scenario = scenario
+        self.collect_events = collect_events
+        self.scenario: Optional[str] = None
         self._scenario_spec = None
-        if scenario is not None:
+        if isinstance(scenario, str):
             from repro.scenarios import get_scenario
 
+            self.scenario = scenario
             self._scenario_spec = get_scenario(scenario)
+        elif scenario is not None:
+            self.scenario = scenario.name
+            self._scenario_spec = scenario
 
     @classmethod
     def from_scenario(
@@ -248,7 +289,21 @@ class CampaignRunner:
         n_workers: Optional[int] = None,
         base_seed: int = 0,
     ) -> "CampaignRunner":
-        """A runner over a registered scenario's own attack mix and platform."""
+        """Deprecated: a runner over a registered scenario's own attack mix.
+
+        Prefer ``repro.api.Experiment.from_scenario(name).campaign(...)``,
+        which runs the same sharded campaign and folds the report into a
+        uniform :class:`~repro.api.experiment.ExperimentResult`.  Behaviour
+        is unchanged; the shim warns once per process.
+        """
+        from repro._deprecation import warn_once
+
+        warn_once(
+            "campaign-runner-from-scenario",
+            "CampaignRunner.from_scenario() is deprecated; use "
+            "repro.api.Experiment.from_scenario(name).campaign(n_workers=...)"
+            ".run() instead",
+        )
         from repro.scenarios import get_scenario, instantiate_attacks
 
         spec = get_scenario(name)
@@ -267,6 +322,7 @@ class CampaignRunner:
                 self.soc_config,
                 self.security_config,
                 self._scenario_spec,
+                self.collect_events,
             )
             for shard_index, indices in enumerate(shards)
         ]
@@ -289,7 +345,8 @@ class CampaignRunner:
 
         indexed: List[Tuple[int, CampaignRow, Dict[str, int]]] = []
         shard_metrics = []
-        for shard_index, seconds, rows in shard_results:
+        merged_events: Dict[str, int] = {}
+        for shard_index, seconds, rows, event_counts in shard_results:
             shard_metrics.append(
                 {
                     "shard": shard_index,
@@ -298,11 +355,13 @@ class CampaignRunner:
                     "seconds": seconds,
                 }
             )
-        for _, _, rows in shard_results:
             indexed.extend(rows)
+            for kind, count in event_counts.items():
+                merged_events[kind] = merged_events.get(kind, 0) + count
         indexed.sort(key=lambda entry: entry[0])
 
         report = CampaignReport()
+        report.event_totals = merged_events
         for _, row, violations in indexed:
             report.add(row)
             for violation, count in violations.items():

@@ -63,6 +63,7 @@ from repro.core.secure import (
     SecurityConfiguration,
     default_policies,
     secure_platform,
+    secure_reference_platform,
 )
 
 __all__ = [
@@ -107,5 +108,6 @@ __all__ = [
     "SecurityConfiguration",
     "SecuredPlatform",
     "secure_platform",
+    "secure_reference_platform",
     "default_policies",
 ]

@@ -121,12 +121,22 @@ class SecurityMonitor:
         self.name = name
         self.alerts: List[SecurityAlert] = []
         self._subscribers: List[Callable[[SecurityAlert], None]] = []
+        #: Optional instrumentation event bus (see :mod:`repro.api.events`).
+        self.event_bus = None
 
     # -- alert intake ------------------------------------------------------------
 
     def raise_alert(self, alert: SecurityAlert) -> None:
         """Record an alert and notify subscribers."""
         self.alerts.append(alert)
+        event_bus = self.event_bus
+        if event_bus is not None:
+            event_bus.emit(
+                "security.alert", alert.cycle, self.name,
+                firewall=alert.firewall, master=alert.master,
+                violation=alert.violation.value, address=alert.address,
+                severity=alert.severity.name, detail=alert.detail,
+            )
         for subscriber in self._subscribers:
             subscriber(alert)
 

@@ -329,6 +329,20 @@ class LocalFirewall(TransactionFilter):
                 )
             )
 
+    def _emit_decision(self, txn: BusTransaction, allowed: bool, reason: str = "") -> None:
+        """Publish the gating verdict on the instrumentation bus, if any."""
+        event_bus = self.sim.event_bus
+        if event_bus is not None:
+            # Hot path: counting-only buses take the payload-free lane.
+            if event_bus.count_only:
+                event_bus.count("firewall.decision")
+            else:
+                event_bus.emit(
+                    "firewall.decision", self.sim.now, self.name,
+                    master=txn.master, address=txn.address, write=txn.is_write,
+                    allowed=allowed, reason=reason,
+                )
+
     # -- DoS heuristic ---------------------------------------------------------------------
 
     def _flood_detected(self) -> bool:
@@ -351,6 +365,7 @@ class LocalFirewall(TransactionFilter):
             self._raise(txn, ViolationType.UNAUTHORIZED_WRITE if txn.is_write else ViolationType.UNAUTHORIZED_READ,
                         detail=f"{self.protected_ip} is quarantined")
             self.firewall_interface.gate(False)
+            self._emit_decision(txn, False, reason="quarantined")
             return FilterResult.deny(
                 reason=f"{self.name}: IP quarantined",
                 latency=self.security_builder.latency_cycles,
@@ -362,6 +377,7 @@ class LocalFirewall(TransactionFilter):
                         detail=f"more than {self.flood_threshold} requests in {self.flood_window} cycles")
             if self.flood_block:
                 self.firewall_interface.gate(False)
+                self._emit_decision(txn, False, reason="traffic_flood")
                 return FilterResult.deny(
                     reason=f"{self.name}: traffic flood",
                     latency=self.security_builder.latency_cycles,
@@ -375,6 +391,7 @@ class LocalFirewall(TransactionFilter):
             assert first.violation is not None
             self._raise(txn, first.violation, first.detail)
             self.firewall_interface.gate(False)
+            self._emit_decision(txn, False, reason=first.violation.value)
             return FilterResult.deny(
                 reason=f"{self.name}: {first.violation.value} ({first.detail})",
                 latency=self.security_builder.latency_cycles,
@@ -384,6 +401,7 @@ class LocalFirewall(TransactionFilter):
         if policy is not None:
             txn.annotations[f"{self.name}.spi"] = policy.spi
         self.firewall_interface.gate(True)
+        self._emit_decision(txn, True)
         return FilterResult.allow(
             latency=self.security_builder.latency_cycles, stage="security_builder"
         )

@@ -161,6 +161,13 @@ class SecurityPolicyManager:
         self.reactions.append(
             ReactionEvent(cycle=self.sim.now, kind=kind, target=target, detail=detail)
         )
+        event_bus = self.sim.event_bus
+        if event_bus is not None:
+            event_bus.emit(
+                "security.reconfiguration" if kind == "reconfigure_policy" else "security.reaction",
+                self.sim.now, "security_manager",
+                reaction=kind, target=target, detail=detail,
+            )
 
     # -- analysis -----------------------------------------------------------------------
 

@@ -41,6 +41,7 @@ __all__ = [
     "SecurityConfiguration",
     "SecuredPlatform",
     "secure_platform",
+    "secure_reference_platform",
     "default_policies",
     "PlanRule",
     "MasterFirewallPlan",
@@ -199,6 +200,9 @@ class SecuredPlatform:
         self.slave_firewalls: Dict[str, LocalFirewall] = {}
         self.bridge_firewalls: Dict[str, LocalFirewall] = {}
         self.ciphering_firewalls: Dict[str, LocalCipheringFirewall] = {}
+        #: Which of :data:`FIREWALL_PLACEMENTS` the executed plan implemented
+        #: (recorded by :func:`attach_security`).
+        self.placement: str = "leaf"
 
     @property
     def ciphering_firewall(self) -> Optional[LocalCipheringFirewall]:
@@ -224,8 +228,21 @@ class SecuredPlatform:
         )
 
     def summary(self) -> Dict[str, object]:
-        """Aggregate view used by reports and the detection experiments."""
+        """Aggregate view used by reports and the detection experiments.
+
+        Covers every firewall class, including the bridge-placed Local
+        Firewalls of hierarchical fabrics, and records the plan's placement
+        so reports can label the leaf-vs-bridge split.
+        """
         return {
+            "placement": self.placement,
+            "firewall_counts": {
+                "master": len(self.master_firewalls),
+                "slave": len(self.slave_firewalls),
+                "bridge": len(self.bridge_firewalls),
+                "ciphering": len(self.ciphering_firewalls),
+            },
+            "bridge_firewalls": sorted(self.bridge_firewalls),
             "firewalls": {fw.name: fw.summary() for fw in self.all_firewalls},
             "alerts": self.monitor.summary(),
             "reactions": self.manager.summary(),
@@ -415,11 +432,13 @@ def attach_security(
     sim = system.sim
 
     monitor = SecurityMonitor()
+    monitor.event_bus = sim.event_bus
     key_store = KeyStore()
     for spi, seed in plan.keys:
         key_store.install(spi, random_key(seed))
     manager = SecurityPolicyManager(sim, monitor, reaction=plan.reaction, key_store=key_store)
     platform = SecuredPlatform(system, config, monitor, manager, key_store)
+    platform.placement = plan.placement
 
     # -- master-side Local Firewalls ---------------------------------------------------
     for master_plan in plan.masters:
@@ -523,14 +542,38 @@ def attach_security(
     return platform
 
 
+def secure_reference_platform(
+    system: SoCSystem,
+    config: Optional[SecurityConfiguration] = None,
+) -> SecuredPlatform:
+    """Attach the paper's default security plan to a reference platform.
+
+    Equivalent to ``attach_security(system, default_plan(system, config))``:
+    the paper's layout expressed as the default security plan.  This is the
+    supported spelling; the historical :func:`secure_platform` alias is a
+    deprecation shim over it.
+    """
+    config = config or SecurityConfiguration()
+    return attach_security(system, default_plan(system, config), config)
+
+
 def secure_platform(
     system: SoCSystem,
     config: Optional[SecurityConfiguration] = None,
 ) -> SecuredPlatform:
-    """Attach firewalls, policies, keys and the security manager to ``system``.
+    """Deprecated alias of :func:`secure_reference_platform`.
 
-    Equivalent to ``attach_security(system, default_plan(system, config))``:
-    the paper's layout expressed as the default security plan.
+    Prefer :class:`repro.api.Experiment` for whole experiments, or
+    :func:`secure_reference_platform` / :func:`attach_security` when only the
+    security attachment is needed.  Behaviour is unchanged; the shim warns
+    once per process.
     """
-    config = config or SecurityConfiguration()
-    return attach_security(system, default_plan(system, config), config)
+    from repro._deprecation import warn_once
+
+    warn_once(
+        "secure_platform",
+        "secure_platform() is deprecated; use repro.api.Experiment for whole "
+        "experiments or repro.core.secure.secure_reference_platform() / "
+        "attach_security() for bare security attachment",
+    )
+    return secure_reference_platform(system, config)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.secure import SecurityConfiguration, secure_platform
+from repro.core.secure import SecurityConfiguration, secure_reference_platform
 from repro.soc.system import SoCConfig, build_reference_platform
 from repro.soc.processor import ProcessorProgram
 
@@ -86,7 +86,7 @@ def run_workload(
     system = build_reference_platform(soc_config)
     if protected:
         # Attaches the firewalls to the system's ports as a side effect.
-        secure_platform(system, security_config or SecurityConfiguration())
+        secure_reference_platform(system, security_config or SecurityConfiguration())
 
     system.load_programs(programs)
     system.start_all()

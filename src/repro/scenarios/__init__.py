@@ -80,7 +80,7 @@ def platform_factory_for(spec: ScenarioSpec):
     """
 
     def factory(protected: bool):
-        built = ScenarioBuilder(spec).build(protected)
+        built = ScenarioBuilder(spec).build(protected, _warn=False)
         return built.system, built.security
 
     return factory

@@ -97,6 +97,22 @@ class BuiltScenario:
     def monitor(self):
         return self.security.monitor if self.security is not None else None
 
+    # -- instrumentation -----------------------------------------------------------
+
+    def attach_instrumentation(self, bus) -> None:
+        """Wire an :class:`repro.api.events.EventBus` into the built platform.
+
+        The kernel, ports, segments, bridges and firewalls publish through
+        ``sim.event_bus``; the security monitor (when present) additionally
+        publishes alerts.  With no sinks on the bus the simulation is
+        byte-identical to an uninstrumented run.
+        """
+        self.system.sim.event_bus = bus
+        if self.security is not None:
+            monitor = getattr(self.security, "monitor", None)
+            if monitor is not None:
+                monitor.event_bus = bus
+
     # -- workload ------------------------------------------------------------------
 
     def load_workload(self) -> None:
@@ -447,8 +463,25 @@ class ScenarioBuilder:
 
     # -- top-level -----------------------------------------------------------------------
 
-    def build(self, protected: bool = True) -> BuiltScenario:
-        """Construct the platform, optionally with its security enhancements."""
+    def build(self, protected: bool = True, *, _warn: bool = True) -> BuiltScenario:
+        """Construct the platform, optionally with its security enhancements.
+
+        Calling this directly still works but is deprecated where the
+        :class:`repro.api.Experiment` façade supersedes it (build + workload +
+        attacks as one pipeline); ``Experiment.from_spec(spec).build()``
+        returns the same :class:`BuiltScenario`.  Internal callers (the
+        differential harness, the campaign workers, the façade itself) pass
+        ``_warn=False``.
+        """
+        if _warn:
+            from repro._deprecation import warn_once
+
+            warn_once(
+                "scenario-builder-build",
+                "direct ScenarioBuilder.build() use is deprecated; use "
+                "repro.api.Experiment.from_spec(spec).build() (or .run() for "
+                "the whole scenario-to-report pipeline)",
+            )
         system = self.build_system()
         if not protected:
             return BuiltScenario(self.spec, system, None)

@@ -138,6 +138,13 @@ class BusBridge(Component):
         verdict = apply_filter_chain(self.filters, txn, "request")
         if not verdict.allowed:
             self.bump("blocked_requests")
+            event_bus = self.sim.event_bus
+            if event_bus is not None:
+                event_bus.emit(
+                    "bridge.containment", self.sim.now, self.name,
+                    master=txn.master, address=txn.address, txn_id=txn.txn_id,
+                    reason=verdict.reason, side=side,
+                )
             status = verdict.status or TransactionStatus.BLOCKED_AT_BRIDGE
             self.sim.schedule(
                 verdict.latency, self._reply_blocked, txn, reply, status, verdict.reason
@@ -242,6 +249,13 @@ class BusBridge(Component):
             # reached its device comes back still GRANTED — only master ports
             # mark completion — so only terminal blocked/error states count.)
             self.bump("posted_write_failures")
+            event_bus = self.sim.event_bus
+            if event_bus is not None:
+                event_bus.emit(
+                    "bridge.posted_failure", self.sim.now, self.name,
+                    master=clone.master, address=clone.address,
+                    status=clone.status.value,
+                )
         self._drain()
 
     def _drain_submit_ordered(

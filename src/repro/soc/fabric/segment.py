@@ -187,6 +187,17 @@ class BusSegment(Component, Interconnect):
             return
 
         self.monitor.observe(txn, region.slave)
+        event_bus = self.sim.event_bus
+        if event_bus is not None:
+            # Hot path: counting-only buses take the payload-free lane.
+            if event_bus.count_only:
+                event_bus.count("bus.granted")
+            else:
+                event_bus.emit(
+                    "bus.granted", self.sim.now, self.name,
+                    master=txn.master, slave=region.slave, address=txn.address,
+                    txn_id=txn.txn_id,
+                )
         if getattr(slave_port, "split_transactions", False):
             # Split transaction (bridge endpoints): the segment is released as
             # soon as the request is handed off instead of being held until

@@ -62,6 +62,10 @@ class Simulator:
         self._running = False
         self.events_processed = 0
         self.components: List["Component"] = []
+        #: Optional instrumentation event bus (see :mod:`repro.api.events`).
+        #: None by default: publishers pay one attribute check and nothing
+        #: else, so uninstrumented simulations are unchanged.
+        self.event_bus = None
 
     # -- time ----------------------------------------------------------------
 
@@ -149,6 +153,9 @@ class Simulator:
             return self._now
         finally:
             self._running = False
+            bus = self.event_bus
+            if bus is not None and bus.active:
+                bus.emit("sim.run", self._now, "kernel", events=self.events_processed)
 
     @property
     def pending_events(self) -> int:

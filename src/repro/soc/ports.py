@@ -231,6 +231,17 @@ class MasterPort(Component):
         txn.mark_issued(self.sim.now)
         self.bump("issued")
         self._callbacks[txn.txn_id] = callback
+        event_bus = self.sim.event_bus
+        if event_bus is not None:
+            # Hot path: counting-only buses take the payload-free lane.
+            if event_bus.count_only:
+                event_bus.count("txn.issued")
+            else:
+                event_bus.emit(
+                    "txn.issued", self.sim.now, self.name,
+                    master=txn.master, address=txn.address,
+                    write=txn.is_write, txn_id=txn.txn_id,
+                )
 
         verdict = _apply_chain(self.filters, txn, "request")
         if not verdict.allowed:
@@ -269,7 +280,20 @@ class MasterPort(Component):
         self._complete(txn)
 
     def _complete(self, txn: BusTransaction) -> None:
-        self.bump("completed" if txn.status is TransactionStatus.COMPLETED else "terminated")
+        completed = txn.status is TransactionStatus.COMPLETED
+        self.bump("completed" if completed else "terminated")
+        event_bus = self.sim.event_bus
+        if event_bus is not None:
+            kind = "txn.completed" if completed else "txn.blocked"
+            if event_bus.count_only:
+                event_bus.count(kind)
+            else:
+                event_bus.emit(
+                    kind, self.sim.now, self.name,
+                    master=txn.master, address=txn.address, write=txn.is_write,
+                    txn_id=txn.txn_id, status=txn.status.value,
+                    reason=txn.annotations.get("block_reason", ""),
+                )
         callback = self._callbacks.pop(txn.txn_id, None)
         if callback is not None:
             callback(txn)

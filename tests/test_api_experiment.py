@@ -1,0 +1,258 @@
+"""Experiment façade, result schema, deprecation shims and CLI tests."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import _deprecation
+from repro.api import Experiment, ExperimentResult, RESULT_SCHEMA_VERSION
+from repro.api.cli import main as cli_main
+from repro.attacks.runner import CampaignRunner
+from repro.core.secure import (
+    SecurityConfiguration,
+    secure_platform,
+    secure_reference_platform,
+)
+from repro.scenarios import ScenarioBuilder, get_scenario, list_scenarios
+from repro.soc.system import build_reference_platform
+
+#: The stable top-level key set of ``ExperimentResult.to_dict()``.
+RESULT_KEYS = {
+    "schema_version", "scenario", "description", "protected", "enforcement",
+    "placement", "seed", "reference", "workload", "alerts", "reactions",
+    "security", "latency", "area", "campaign", "events", "memories", "meta",
+}
+
+
+class TestExperimentPipeline:
+    @pytest.mark.parametrize("name", list_scenarios())
+    def test_run_works_for_every_registered_scenario(self, name):
+        result = Experiment.from_scenario(name).run()
+        assert isinstance(result, ExperimentResult)
+        assert result.scenario == name
+        assert set(result.to_dict()) == RESULT_KEYS
+        assert result.workload["final_cycle"] >= 0
+        assert result.memories, "memory digests missing"
+        spec = get_scenario(name)
+        if spec.attacks:
+            assert result.campaign["summary"]["attacks"] == len(spec.attacks)
+        else:
+            assert result.campaign is None
+        # JSON-serializable end to end.
+        json.loads(result.to_json())
+
+    def test_unprotected_run_has_no_security_sections(self):
+        result = Experiment.from_scenario("minimal_1x1").protected(False).run()
+        assert result.alerts is None
+        assert result.security is None
+        assert result.reactions is None
+        # The campaign still scores both variants.
+        assert result.campaign["summary"]["attacks"] == 1
+
+    def test_with_attacks_overrides_mix(self):
+        from repro.scenarios.spec import AttackSpec
+
+        result = (
+            Experiment.from_scenario("minimal_1x1")
+            .with_attacks(AttackSpec("dos_flood", {"hijacked_master": "cpu0", "n_requests": 30}),
+                          AttackSpec("dos_flood", {"hijacked_master": "cpu0", "n_requests": 60}))
+            .run()
+        )
+        assert result.campaign["summary"]["attacks"] == 2
+
+    def test_no_attacks_skips_campaign(self):
+        result = Experiment.from_scenario("minimal_1x1").no_attacks().run()
+        assert result.campaign is None
+
+    def test_reference_mode_matches_fast_mode(self):
+        fast = Experiment.from_scenario("minimal_1x1").run()
+        reference = Experiment.from_scenario("minimal_1x1").reference().run()
+        assert fast.memories == reference.memories
+        assert fast.alerts == reference.alerts
+        assert fast.workload["final_cycle"] == reference.workload["final_cycle"]
+        assert reference.reference is True
+
+    def test_sharded_campaign_matches_serial(self):
+        serial = Experiment.from_scenario("paper_baseline").with_workload(None).run()
+        sharded = (
+            Experiment.from_scenario("paper_baseline").with_workload(None).campaign(3).run()
+        )
+        assert serial.campaign["rows"] == sharded.campaign["rows"]
+        assert serial.campaign["monitor_totals"] == sharded.campaign["monitor_totals"]
+
+    def test_schema_version_recorded(self):
+        result = Experiment.from_scenario("minimal_1x1").no_attacks().run()
+        assert result.to_dict()["schema_version"] == RESULT_SCHEMA_VERSION
+
+    def test_scenarios_listing_matches_registry(self):
+        assert Experiment.scenarios() == list_scenarios()
+
+    def test_run_experiment_convenience_wrapper(self):
+        from repro.api import StatsSink, run_experiment
+
+        sink = StatsSink()
+        result = run_experiment("minimal_1x1", seed=7, sinks=[sink])
+        assert result.seed == 7
+        assert result.events == sink.counts and sink.total() > 0
+
+    def test_top_level_lazy_export(self):
+        import repro
+
+        assert repro.Experiment is Experiment
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestSummaryPlacement:
+    """SecuredPlatform.summary() must cover bridge firewalls and placement."""
+
+    def test_summary_includes_bridge_firewalls_and_placement(self):
+        built = Experiment.from_spec(get_scenario("deep_hierarchy_3seg")).build()
+        summary = built.security.summary()
+        assert summary["placement"] == "both"
+        assert summary["bridge_firewalls"] == ["br01", "br12"]
+        assert summary["firewall_counts"]["bridge"] == 2
+        # Bridge firewalls appear in the per-firewall breakdown too.
+        assert {"lf_br01", "lf_br12"} <= set(summary["firewalls"])
+
+    def test_flat_platform_summary_reports_leaf_placement(self):
+        system = build_reference_platform()
+        security = secure_reference_platform(system, SecurityConfiguration())
+        summary = security.summary()
+        assert summary["placement"] == "leaf"
+        assert summary["bridge_firewalls"] == []
+        assert summary["firewall_counts"]["bridge"] == 0
+        assert summary["firewall_counts"]["master"] == len(system.master_ports)
+
+    def test_experiment_result_surfaces_same_fields(self):
+        result = Experiment.from_scenario("deep_hierarchy_3seg").no_attacks().run()
+        assert result.placement == "both"
+        assert result.security["placement"] == "both"
+        assert result.security["bridge_firewalls"] == ["br01", "br12"]
+        split = {row["placement"]: row for row in result.latency["placement_split"]}
+        assert split["bridge"]["firewalls"] == 2
+        assert split["leaf_master"]["evaluations"] > 0
+
+
+class TestDeprecationShims:
+    def _catch(self):
+        ctx = warnings.catch_warnings(record=True)
+        caught = ctx.__enter__()
+        warnings.simplefilter("always")
+        return ctx, caught
+
+    def test_secure_platform_warns_once_and_matches_new_path(self):
+        _deprecation.reset()
+        ctx, caught = self._catch()
+        try:
+            old_system = build_reference_platform()
+            old_security = secure_platform(old_system, SecurityConfiguration())
+            first = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(first) == 1 and "secure_platform" in str(first[0].message)
+
+            # Second call: silent (once per process).
+            secure_platform(build_reference_platform(), SecurityConfiguration())
+            assert len([w for w in caught if issubclass(w.category, DeprecationWarning)]) == 1
+        finally:
+            ctx.__exit__(None, None, None)
+
+        new_system = build_reference_platform()
+        new_security = secure_reference_platform(new_system, SecurityConfiguration())
+        assert old_security.summary() == new_security.summary()
+        assert [f.name for f in old_security.all_firewalls] == [
+            f.name for f in new_security.all_firewalls
+        ]
+
+    def test_scenario_builder_build_warns_once_and_matches_facade(self):
+        _deprecation.reset()
+        spec = get_scenario("minimal_1x1")
+        ctx, caught = self._catch()
+        try:
+            direct = ScenarioBuilder(spec).build()
+            relevant = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(relevant) == 1 and "ScenarioBuilder.build" in str(relevant[0].message)
+            ScenarioBuilder(spec).build()
+            assert len([w for w in caught if issubclass(w.category, DeprecationWarning)]) == 1
+        finally:
+            ctx.__exit__(None, None, None)
+
+        facade = Experiment.from_spec(get_scenario("minimal_1x1")).build()
+        assert direct.system.describe_topology() == facade.system.describe_topology()
+        assert direct.security.summary() == facade.security.summary()
+
+    def test_from_scenario_warns_once_and_matches_facade(self):
+        _deprecation.reset()
+        ctx, caught = self._catch()
+        try:
+            old_report = CampaignRunner.from_scenario("minimal_1x1", n_workers=1).run()
+            relevant = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(relevant) == 1 and "from_scenario" in str(relevant[0].message)
+            CampaignRunner.from_scenario("minimal_1x1", n_workers=1)
+            assert len([w for w in caught if issubclass(w.category, DeprecationWarning)]) == 1
+        finally:
+            ctx.__exit__(None, None, None)
+
+        new_result = (
+            Experiment.from_scenario("minimal_1x1").with_workload(None).campaign(1).run()
+        )
+        new_rows = new_result.campaign["rows"]
+        old_rows = [
+            {
+                "attack": row.attack,
+                "unprotected": row.unprotected.outcome.value,
+                "protected": row.protected.outcome.value,
+                "detected": "yes" if row.detected else "no",
+            }
+            for row in old_report.rows
+        ]
+        assert [
+            {k: row[k] for k in ("attack", "unprotected", "protected", "detected")}
+            for row in new_rows
+        ] == old_rows
+        assert old_report.monitor_totals == new_result.campaign["monitor_totals"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in list_scenarios():
+            assert name in out
+
+    def test_list_json(self, capsys):
+        assert cli_main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} == set(list_scenarios())
+
+    def test_run_json_schema(self, capsys):
+        assert cli_main(["run", "paper_baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == RESULT_KEYS
+        assert payload["scenario"] == "paper_baseline"
+        assert payload["campaign"]["summary"]["attacks"] == 7
+
+    def test_run_human_report(self, capsys):
+        assert cli_main(["run", "minimal_1x1", "--no-attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "Experiment: minimal_1x1" in out
+        assert "workload" in out
+
+    def test_run_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert cli_main(["run", "minimal_1x1", "--trace", str(trace)]) == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        json.loads(lines[0])
+
+    def test_campaign(self, capsys):
+        assert cli_main(["campaign", "minimal_1x1"]) == 0
+        out = capsys.readouterr().out
+        assert "dos_flood" in out
+
+    def test_campaign_json(self, capsys):
+        assert cli_main(["campaign", "minimal_1x1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["attacks"] == 1
