@@ -1,0 +1,72 @@
+"""Sweep-engine benchmark: cold compute vs. warm cache service.
+
+The sweep layer's whole point is that regenerating the paper's numbers is
+cheap after the first run: a cold store pays one full experiment per grid
+point, a warm store pays only key computation and a JSONL lookup.  This
+benchmark runs the ``repro paper --fast`` grid both ways and asserts
+
+* the cold sweep computes every point and the warm sweep computes none,
+* cold and warm stores carry the same content digest (cache service is
+  observably identical to recomputation),
+* the warm pass is at least 5x faster than the cold pass (the whole reason
+  the store exists; the real ratio is orders of magnitude).
+
+The timed section is the warm sweep — the steady-state cost every future
+``repro paper`` invocation pays.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_rounds, write_bench_json, write_result
+
+from repro.sweep import ResultStore, SweepRunner
+from repro.sweep.paper import paper_sweep_spec
+
+
+def test_sweep_warm_cache_service(benchmark, results_dir, tmp_path):
+    spec = paper_sweep_spec(fast=True)
+    store = ResultStore(tmp_path / "store")
+
+    started = time.perf_counter()
+    cold = SweepRunner(spec, store).run()
+    cold_seconds = time.perf_counter() - started
+    assert cold.computed and not cold.cached
+
+    started = time.perf_counter()
+    warm = SweepRunner(spec, store).run()
+    warm_seconds = time.perf_counter() - started
+    assert not warm.computed and sorted(warm.cached) == sorted(cold.computed)
+    assert warm.store_digest == cold.store_digest
+    assert cold_seconds > 5 * warm_seconds, (
+        f"warm sweep should be >=5x faster (cold {cold_seconds:.3f}s, "
+        f"warm {warm_seconds:.3f}s)"
+    )
+
+    benchmark.pedantic(
+        lambda: SweepRunner(spec, ResultStore(tmp_path / "store")).run(),
+        rounds=bench_rounds(5),
+        iterations=1,
+    )
+
+    rendered = "\n".join(
+        [
+            "Sweep engine -- cold compute vs warm cache (repro paper --fast grid)",
+            f"points          : {cold.total}",
+            f"cold seconds    : {cold_seconds:.4f}",
+            f"warm seconds    : {warm_seconds:.4f}",
+            f"speedup         : {cold_seconds / max(warm_seconds, 1e-9):.1f}x",
+            f"store digest    : {cold.store_digest[:16]}",
+        ]
+    )
+    write_result(results_dir, "sweep.txt", rendered)
+    write_bench_json(
+        results_dir,
+        "sweep",
+        benchmark,
+        points=cold.total,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        speedup=cold_seconds / max(warm_seconds, 1e-9),
+    )

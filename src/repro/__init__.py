@@ -21,7 +21,10 @@ The package is organised bottom-up:
 
 * :mod:`repro.api` -- the unified experiment API: the ``Experiment`` façade
   (scenario -> build -> workload -> campaign -> ``ExperimentResult``), the
-  instrumentation event bus and the ``python -m repro`` CLI.
+  instrumentation event bus and the ``python -m repro`` CLI,
+* :mod:`repro.sweep` -- grid sweeps over the scenario registry with a
+  persistent content-addressed result store and one-command regeneration of
+  the paper's tables (``python -m repro paper``).
 
 Quickstart::
 

@@ -1,0 +1,163 @@
+"""Cross-scenario comparison tables over stored experiment results.
+
+The sweep layer persists uniform ``ExperimentResult`` payloads; this module
+joins a set of them into the comparison views the paper's evaluation section
+is made of: detection rates per scenario, per-hop latency on hierarchical
+fabrics, the leaf-vs-bridge placement split of Security-Builder work, and the
+area model per platform.  Everything operates on the *serialized* result
+dictionaries (the stable schema), never on live objects, so the analysis
+layer can be pointed at any store — today's run or a BENCH history file.
+
+Each function takes ``entries``: an iterable of store entries (dicts with at
+least ``point_id`` and ``result``), as returned by
+:meth:`repro.sweep.store.ResultStore.entries`.  ``*_rows`` functions return
+``(headers, rows)`` pairs; the ``render_*`` wrappers produce aligned ASCII
+tables via :mod:`repro.analysis.tables`; :func:`comparison_report` bundles
+every view into one document (the golden-file surface of the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "detection_rows",
+    "hop_latency_rows",
+    "placement_rows",
+    "area_rows",
+    "render_detection",
+    "render_hop_latency",
+    "render_placement",
+    "render_area",
+    "comparison_report",
+]
+
+Rows = Tuple[List[str], List[List[object]]]
+
+
+def _sorted_entries(entries: Iterable[Dict]) -> List[Dict]:
+    return sorted(entries, key=lambda e: str(e.get("point_id", "")))
+
+
+def detection_rows(entries: Iterable[Dict]) -> Rows:
+    """Attack-campaign outcome per point: attacks, prevented, detected, rate."""
+    headers = ["point", "attacks", "prevented", "detected", "detection rate"]
+    rows: List[List[object]] = []
+    for entry in _sorted_entries(entries):
+        campaign = (entry.get("result") or {}).get("campaign")
+        if not campaign:
+            continue
+        summary = campaign["summary"]
+        attacks = summary["attacks"]
+        rate = f"{100.0 * summary['detected'] / attacks:.0f}%" if attacks else "-"
+        rows.append(
+            [entry["point_id"], attacks, summary["prevented"], summary["detected"], rate]
+        )
+    return headers, rows
+
+
+def hop_latency_rows(entries: Iterable[Dict]) -> Rows:
+    """Per-hop transfer cycles (bus segments and bridges) per point."""
+    ordered = _sorted_entries(entries)
+    stages: List[str] = sorted(
+        {
+            stage
+            for entry in ordered
+            for stage in ((entry.get("result") or {}).get("latency", {}).get("per_hop") or {})
+        }
+    )
+    headers = ["point"] + stages + ["total"]
+    rows: List[List[object]] = []
+    for entry in ordered:
+        per_hop = (entry.get("result") or {}).get("latency", {}).get("per_hop") or {}
+        if not per_hop:
+            continue
+        cells: List[object] = [entry["point_id"]]
+        cells.extend(per_hop.get(stage) for stage in stages)
+        cells.append(sum(per_hop.values()))
+        rows.append(cells)
+    return headers, rows
+
+
+def placement_rows(entries: Iterable[Dict]) -> Rows:
+    """Security-Builder work split by firewall placement class, per point."""
+    headers = ["point", "placement", "firewalls", "evaluations", "SB cycles", "cycles/eval"]
+    rows: List[List[object]] = []
+    for entry in _sorted_entries(entries):
+        split = (entry.get("result") or {}).get("latency", {}).get("placement_split") or []
+        for item in split:
+            evaluations = item["evaluations"]
+            mean = f"{item['cycles'] / evaluations:.1f}" if evaluations else "-"
+            rows.append(
+                [
+                    entry["point_id"],
+                    item["placement"],
+                    item["firewalls"],
+                    evaluations,
+                    item["cycles"],
+                    mean,
+                ]
+            )
+    return headers, rows
+
+
+def area_rows(entries: Iterable[Dict]) -> Rows:
+    """Modelled FPGA area per point, with the overhead vs. the bare platform."""
+    headers = ["point", "slice regs", "slice LUTs", "LUT-FF pairs", "BRAMs", "LUT overhead"]
+    rows: List[List[object]] = []
+    for entry in _sorted_entries(entries):
+        area = (entry.get("result") or {}).get("area")
+        if not area:
+            continue
+        resources = area["resources"]
+        overhead = area["overhead_vs_baseline"].get("slice_luts", 0.0)
+        rows.append(
+            [
+                entry["point_id"],
+                int(resources["slice_registers"]),
+                int(resources["slice_luts"]),
+                int(resources["lut_ff_pairs"]),
+                int(resources["brams"]),
+                f"+{100.0 * float(overhead):.1f}%",
+            ]
+        )
+    return headers, rows
+
+
+def _render(rows: Rows, title: str) -> str:
+    headers, body = rows
+    if not body:
+        return f"{title}\n{'=' * len(title)}\n(no data)"
+    return format_table(headers, body, title=title)
+
+
+def render_detection(entries: Iterable[Dict], title: str = "Attack detection by scenario") -> str:
+    return _render(detection_rows(entries), title)
+
+
+def render_hop_latency(entries: Iterable[Dict], title: str = "Per-hop transfer cycles") -> str:
+    return _render(hop_latency_rows(entries), title)
+
+
+def render_placement(
+    entries: Iterable[Dict], title: str = "Security Builder work by firewall placement"
+) -> str:
+    return _render(placement_rows(entries), title)
+
+
+def render_area(entries: Iterable[Dict], title: str = "Modelled area by scenario") -> str:
+    return _render(area_rows(entries), title)
+
+
+def comparison_report(entries: Sequence[Dict]) -> str:
+    """Every comparison view over one entry set, as a single document."""
+    entries = list(entries)
+    sections = [
+        render_detection(entries),
+        render_hop_latency(entries),
+        render_placement(entries),
+        render_area(entries),
+    ]
+    return "\n\n".join(sections)

@@ -9,7 +9,8 @@
   reconfigurations, bridge containment) and the stock sinks (in-memory
   aggregator, JSONL trace writer, counting-only stats),
 * :mod:`repro.api.cli` — the ``python -m repro`` / ``repro`` command line
-  (``run``, ``list``, ``campaign``).
+  (``run``, ``list``, ``campaign``, ``sweep run``/``sweep gc``, ``paper``,
+  ``catalog``).
 
 API stability: ``Experiment`` / ``ExperimentResult`` and the event-bus
 surface are **stable**; the CLI flag set is **provisional**;

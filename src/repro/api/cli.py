@@ -2,19 +2,31 @@
 
 Subcommands:
 
-* ``repro list [--json]`` — registered scenarios with their descriptions,
+* ``repro list [--json]`` — registered scenarios with their topology,
+  placement/enforcement and description (the same metadata that generates
+  ``docs/scenario-catalog.md``),
 * ``repro run SCENARIO [--json] [--trace FILE] [--unprotected] [--reference]
   [--no-attacks] [--workers N] [--seed N]`` — one full experiment; human
   report by default, the schema-stable :class:`ExperimentResult` JSON with
   ``--json``, a JSONL instrumentation trace with ``--trace``,
 * ``repro campaign SCENARIO [--json] [--workers N] [--seed N]`` — the
-  scenario's attack campaign only (sharded), printed as a detection matrix.
+  scenario's attack campaign only (sharded), printed as a detection matrix,
+* ``repro sweep run [--scenario PATTERN ...] [--placement P ...]
+  [--seed N ...] [--store DIR] ...`` — a grid sweep into the persistent
+  result store (cached points are skipped, interrupted sweeps resume),
+* ``repro sweep gc --keep-latest N [--apply] [--store DIR]`` — drop stored
+  results from old code fingerprints (dry run unless ``--apply``),
+* ``repro paper [--fast] [--store DIR] [--out DIR]`` — regenerate every
+  paper table/figure from the store (see ``docs/reproducing-the-paper.md``),
+* ``repro catalog [--write PATH] [--check]`` — render the scenario catalog
+  markdown page from the registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -22,9 +34,20 @@ from repro.api.events import JsonlTraceSink, StatsSink
 from repro.api.experiment import Experiment
 from repro.analysis.report import render_experiment
 from repro.analysis.tables import format_table
-from repro.scenarios import get_scenario, list_scenarios
+from repro.scenarios import list_scenarios
+from repro.scenarios.catalog import render_catalog, scenario_summaries, summary_line
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_STORE_DIR"]
+
+
+#: Default location of the persistent sweep result store.
+DEFAULT_STORE_DIR = ".repro-store"
+
+#: Default output directory of ``repro paper``.
+DEFAULT_PAPER_OUT = "paper-artifacts"
+
+#: Default location of the generated scenario catalog page.
+DEFAULT_CATALOG_PATH = "docs/scenario-catalog.md"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,19 +82,74 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes (default: one per attack, capped)")
     campaign_cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
 
+    sweep_cmd = sub.add_parser("sweep", help="grid sweeps with a persistent result store")
+    sweep_sub = sweep_cmd.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="run a sweep grid (cached points are reused)")
+    sweep_run.add_argument("--scenario", action="append", default=None, metavar="PATTERN",
+                           help="scenario name or fnmatch pattern (repeatable; default: all)")
+    sweep_run.add_argument("--placement", action="append", default=None, metavar="P",
+                           choices=["default", "leaf", "bridge", "both"],
+                           help="placement axis value (repeatable; 'default' keeps the "
+                                "scenario's own placement)")
+    sweep_run.add_argument("--seed", action="append", type=int, default=None, metavar="N",
+                           help="campaign seed axis value (repeatable; default: 0)")
+    sweep_run.add_argument("--campaign-workers", action="append", type=int, default=None,
+                           metavar="N", help="campaign worker-count axis value (repeatable)")
+    sweep_run.add_argument("--unprotected", action="store_true",
+                           help="add the unprotected build to the protection axis")
+    sweep_run.add_argument("--no-attacks", action="store_true",
+                           help="add the attack-free mode to the attack axis")
+    sweep_run.add_argument("--exclude", action="append", default=None, metavar="PATTERN",
+                           help="exclude scenarios/point ids matching this pattern")
+    sweep_run.add_argument("--sweep-workers", type=int, default=1, metavar="N",
+                           help="processes sharding the sweep's points (default: 1)")
+    sweep_run.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                           help=f"result store directory (default: {DEFAULT_STORE_DIR})")
+    sweep_run.add_argument("--json", action="store_true", help="machine-readable report")
+
+    sweep_gc = sweep_sub.add_parser("gc", help="garbage-collect old code-fingerprint results")
+    sweep_gc.add_argument("--keep-latest", type=int, required=True, metavar="N",
+                          help="number of most recent code fingerprints to keep")
+    sweep_gc.add_argument("--apply", action="store_true",
+                          help="actually delete (default is a dry run)")
+    sweep_gc.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                          help=f"result store directory (default: {DEFAULT_STORE_DIR})")
+    sweep_gc.add_argument("--json", action="store_true", help="machine-readable report")
+
+    paper_cmd = sub.add_parser(
+        "paper", help="regenerate every paper table/figure from the result store"
+    )
+    paper_cmd.add_argument("--fast", action="store_true",
+                           help="three-scenario subset (the CI smoke bundle)")
+    paper_cmd.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                           help=f"result store directory (default: {DEFAULT_STORE_DIR})")
+    paper_cmd.add_argument("--out", default=DEFAULT_PAPER_OUT, metavar="DIR",
+                           help=f"artifact output directory (default: {DEFAULT_PAPER_OUT})")
+    paper_cmd.add_argument("--sweep-workers", type=int, default=1, metavar="N",
+                           help="processes sharding the sweep's points (default: 1)")
+    paper_cmd.add_argument("--json", action="store_true", help="machine-readable report")
+
+    catalog_cmd = sub.add_parser(
+        "catalog", help="render docs/scenario-catalog.md from the scenario registry"
+    )
+    catalog_cmd.add_argument("--write", metavar="PATH", default=None,
+                             help=f"write the page to PATH (e.g. {DEFAULT_CATALOG_PATH})")
+    catalog_cmd.add_argument("--check", metavar="PATH", nargs="?", default=False,
+                             const=DEFAULT_CATALOG_PATH,
+                             help="fail if the page at PATH is out of date "
+                                  f"(default: {DEFAULT_CATALOG_PATH})")
+
     return parser
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    names = list_scenarios()
+    summaries = scenario_summaries()
     if args.json:
-        payload = [
-            {"name": name, "description": get_scenario(name).description} for name in names
-        ]
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(summaries, indent=2))
         return 0
-    for name in names:
-        print(f"{name:32s} {get_scenario(name).description}")
+    for summary in summaries:
+        print(summary_line(summary))
     return 0
 
 
@@ -136,13 +214,138 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _match_scenarios(patterns: Optional[List[str]]) -> tuple:
+    """Expand ``--scenario`` patterns against the registry (order-preserving)."""
+    import fnmatch
+
+    if not patterns:
+        return ()
+    names = list_scenarios()
+    selected: List[str] = []
+    for pattern in patterns:
+        matched = [name for name in names if fnmatch.fnmatch(name, pattern)]
+        if not matched:
+            raise SystemExit(f"repro sweep: no scenario matches {pattern!r}")
+        for name in matched:
+            if name not in selected:
+                selected.append(name)
+    return tuple(selected)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import ResultStore, SweepRunner, SweepSpec
+
+    placements = tuple(
+        None if p == "default" else p for p in (args.placement or ["default"])
+    )
+    spec = SweepSpec(
+        scenarios=_match_scenarios(args.scenario),
+        placements=placements,
+        seeds=tuple(args.seed or [0]),
+        campaign_workers=tuple(args.campaign_workers or [1]),
+        protected=(True, False) if args.unprotected else (True,),
+        attack_modes=("scenario", "none") if args.no_attacks else ("scenario",),
+        exclude=tuple(args.exclude or ()),
+    )
+    store = ResultStore(args.store)
+    report = SweepRunner(spec, store, sweep_workers=args.sweep_workers).run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"sweep {report.sweep_hash} over store {args.store} "
+          f"(code fingerprint {report.fingerprint})")
+    print(f"  computed : {len(report.computed)}")
+    print(f"  cached   : {len(report.cached)}")
+    print(f"  skipped  : {len(report.skipped)}")
+    for item in report.skipped:
+        print(f"    {item['point_id']}: {item['reason']}")
+    print(f"  store    : {len(store)} results, digest {report.store_digest[:16]}")
+    return 0
+
+
+def _cmd_sweep_gc(args: argparse.Namespace) -> int:
+    from repro.sweep import ResultStore
+
+    # Refuse to "collect" a store that does not exist: opening would create
+    # an empty one and report success against nothing (mistyped --store).
+    if not (pathlib.Path(args.store) / ResultStore.RESULTS_NAME).exists():
+        print(f"repro sweep gc: no result store at {args.store!r}", file=sys.stderr)
+        return 1
+    store = ResultStore(args.store)
+    report = store.gc(keep_latest=args.keep_latest, apply=args.apply)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    mode = "applied" if report.applied else "dry run (pass --apply to delete)"
+    print(f"sweep gc over {args.store}: keep latest {report.keep_latest} fingerprints -- {mode}")
+    print(f"  kept fingerprints    : {', '.join(report.kept_fingerprints) or '(none)'}")
+    print(f"  dropped fingerprints : {', '.join(report.dropped_fingerprints) or '(none)'}")
+    print(f"  dropped results      : {len(report.dropped_points)}")
+    for point in report.dropped_points:
+        print(f"    {point}")
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from repro.sweep import regenerate_paper
+
+    report = regenerate_paper(
+        args.store, args.out, fast=args.fast, sweep_workers=args.sweep_workers
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    sweep = report.sweep
+    print(f"paper artifacts -> {report.out_dir} "
+          f"({'fast subset' if report.fast else 'full registry'})")
+    print(f"  sweep    : {len(sweep.computed)} computed, {len(sweep.cached)} cached "
+          f"(store digest {sweep.store_digest[:16]})")
+    for name in sorted(report.artifacts):
+        print(f"  artifact : {report.artifacts[name]}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    rendered = render_catalog()
+    if args.check is not False:
+        path = pathlib.Path(args.check)
+        if not path.exists():
+            print(f"repro catalog: {path} does not exist", file=sys.stderr)
+            return 1
+        if path.read_text(encoding="utf-8") != rendered:
+            print(
+                f"repro catalog: {path} is out of date; regenerate with "
+                f"`python -m repro catalog --write {path}`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    if args.write:
+        path = pathlib.Path(args.write)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        print(f"wrote {path}")
+        return 0
+    print(rendered, end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
-    return _cmd_campaign(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "sweep":
+        if args.sweep_command == "run":
+            return _cmd_sweep_run(args)
+        return _cmd_sweep_gc(args)
+    if args.command == "paper":
+        return _cmd_paper(args)
+    return _cmd_catalog(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

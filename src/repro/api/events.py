@@ -39,6 +39,12 @@ kind                        emitted when
 ``security.reaction``       any other countermeasure (quarantine, zeroise, ...)
 ``sim.run``                 one ``Simulator.run`` drain completes
 ==========================  ====================================================
+
+Consumers: ``python -m repro run --trace FILE`` streams the vocabulary to a
+JSONL file through :class:`JsonlTraceSink`; the sharded campaign runner
+attaches a :class:`StatsSink` per worker and merges the per-kind counts into
+``CampaignReport.event_totals``; sweep results (:mod:`repro.sweep`) persist
+whatever counts the experiment collected as part of the stored record.
 """
 
 from __future__ import annotations

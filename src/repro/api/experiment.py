@@ -33,6 +33,14 @@ bus (``instrumented()``); either way the simulation itself is byte-identical
 to an uninstrumented run, which keeps the PR-2 differential guarantees
 intact — ``reference(True)`` runs the entire experiment under
 :func:`repro.scenarios.differential.reference_mode` for exactly that check.
+
+One :class:`ExperimentResult` is also one *cacheable unit*: the sweep layer
+(:mod:`repro.sweep`) keys serialized results by scenario definition and code
+fingerprint in a persistent :class:`~repro.sweep.store.ResultStore`, and the
+paper's tables are regenerated from those stored payloads alone — which is
+why the protected run folds its Table-II module-latency averages
+(``latency["table2"]``) into the record instead of leaving them on the live
+firewall objects.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from repro.attacks.campaign import CampaignReport
 from repro.attacks.runner import CampaignRunner
 from repro.core.secure import SecuredPlatform
 from repro.metrics.area import AreaModel
-from repro.metrics.latency import aggregate_hop_latency, placement_split
+from repro.metrics.latency import aggregate_hop_latency, generate_table2, placement_split
 from repro.scenarios import get_scenario, instantiate_attacks, list_scenarios
 from repro.scenarios.builder import BuiltScenario, ScenarioBuilder
 from repro.scenarios.differential import reference_mode
@@ -58,7 +66,8 @@ __all__ = ["Experiment", "ExperimentResult", "RESULT_SCHEMA_VERSION"]
 
 
 #: Bumped whenever the shape of :meth:`ExperimentResult.to_dict` changes.
-RESULT_SCHEMA_VERSION = 1
+#: v2: ``latency`` gained ``table2`` (per-module firewall latency rows).
+RESULT_SCHEMA_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -283,6 +292,7 @@ class Experiment:
         latency: Dict[str, Any] = {
             "per_hop": aggregate_hop_latency(system.bus.monitor.history),
             "placement_split": [],
+            "table2": [],
         }
         if built.monitor is not None:
             alerts = built.monitor.summary()
@@ -291,6 +301,20 @@ class Experiment:
             security_summary = security.summary()
             latency["placement_split"] = [
                 dataclasses.asdict(row) for row in placement_split(security)
+            ]
+            # Table-II averages measured on this run's live firewall counters,
+            # serialized here so the sweep store can regenerate the paper's
+            # latency table without re-simulating.
+            ciphering = list(security.ciphering_firewalls.values())
+            locals_ = (
+                list(security.master_firewalls.values())
+                + list(security.slave_firewalls.values())
+                + list(security.bridge_firewalls.values())
+                + ciphering[1:]
+            )
+            latency["table2"] = [
+                dataclasses.asdict(row)
+                for row in generate_table2(locals_, ciphering[0] if ciphering else None)
             ]
 
         area_model = AreaModel()

@@ -26,7 +26,8 @@ Design points:
 
 The same machinery generalises to workload sweeps: :func:`parallel_map`
 shards any picklable job list across workers with the same deterministic
-per-shard seeding.
+per-shard seeding — it is how :class:`repro.sweep.engine.SweepRunner` shards
+a grid's missing points across processes (``--sweep-workers``).
 """
 
 from __future__ import annotations

@@ -31,7 +31,13 @@ from repro.scenarios.spec import (
     WorkloadSpec,
 )
 
-__all__ = ["register_scenario", "get_scenario", "list_scenarios", "iter_scenarios"]
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "get_scenario_factory",
+    "list_scenarios",
+    "iter_scenarios",
+]
 
 
 _REGISTRY: Dict[str, Callable[[], ScenarioSpec]] = {}
@@ -56,6 +62,16 @@ def get_scenario(name: str) -> ScenarioSpec:
             f"no scenario named {name!r}; registered: {sorted(_REGISTRY)}"
         ) from exc
     return factory()
+
+
+def get_scenario_factory(name: str) -> Callable[[], ScenarioSpec]:
+    """The registered factory itself (its docstring feeds the catalog)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"no scenario named {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from exc
 
 
 def list_scenarios() -> List[str]:

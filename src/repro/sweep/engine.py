@@ -1,0 +1,188 @@
+"""Sweep execution: run the missing points, serve the rest from the store.
+
+:class:`SweepRunner` expands a :class:`~repro.sweep.spec.SweepSpec`, computes
+each point's content key, and executes **only** the points the
+:class:`~repro.sweep.store.ResultStore` does not already hold — an
+interrupted sweep rerun from the same spec therefore resumes exactly where it
+stopped, and a second invocation over a warm store computes nothing at all
+(the :class:`SweepReport` says which was which).
+
+Execution is serial by default (each point's attack campaign may itself shard
+across processes via ``campaign_workers``).  ``sweep_workers > 1`` instead
+shards the *points* across worker processes with
+:func:`repro.attacks.runner.parallel_map` — the same deterministic
+round-robin machinery the campaign runner uses — which requires every point's
+own campaign to stay in-process (``multiprocessing`` workers are daemonic and
+cannot spawn a nested pool).  Durability granularity differs by mode: the
+serial path stores each point as it completes (a kill loses at most the
+point in flight), while the sharded path stores one *batch* of
+``sweep_workers`` points at a time (a kill loses at most the current batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.api.experiment import Experiment
+from repro.attacks.runner import parallel_map
+from repro.scenarios.spec import ScenarioSpec
+from repro.sweep.spec import SweepPoint, SweepSpec, point_key
+from repro.sweep.store import ResultStore, code_fingerprint
+
+__all__ = ["SweepRunner", "SweepReport"]
+
+
+def _execute_point(job: Tuple[SweepPoint, ScenarioSpec]) -> Dict[str, object]:
+    """Run one grid point through the Experiment façade (picklable job)."""
+    point, resolved = job
+    experiment = (
+        Experiment.from_spec(resolved)
+        .protected(point.protected)
+        .with_seed(point.seed)
+        .campaign(point.campaign_workers)
+    )
+    if point.attack_mode == "none":
+        experiment.no_attacks()
+    return experiment.run().to_dict()
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :meth:`SweepRunner.run` call."""
+
+    sweep_hash: str
+    fingerprint: str
+    computed: List[str] = field(default_factory=list)  # point ids
+    cached: List[str] = field(default_factory=list)
+    skipped: List[Dict[str, str]] = field(default_factory=list)
+    keys: Dict[str, str] = field(default_factory=dict)  # point id -> store key
+    store_digest: str = ""
+
+    @property
+    def total(self) -> int:
+        return len(self.computed) + len(self.cached)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sweep_hash": self.sweep_hash,
+            "fingerprint": self.fingerprint,
+            "computed": list(self.computed),
+            "cached": list(self.cached),
+            "skipped": list(self.skipped),
+            "keys": dict(self.keys),
+            "store_digest": self.store_digest,
+            "total": self.total,
+        }
+
+
+class SweepRunner:
+    """Execute a sweep grid against a persistent result store.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    store:
+        Where results live across invocations.
+    resolver:
+        Optional ``name -> ScenarioSpec`` override (defaults to the scenario
+        registry); tests use it to sweep modified definitions and assert the
+        spec-hash invalidation.
+    fingerprint:
+        Code fingerprint baked into every key; defaults to
+        :func:`repro.sweep.store.code_fingerprint`.
+    sweep_workers:
+        ``1`` (default) runs points serially in-process; ``>1`` shards the
+        missing points across processes (every point's ``campaign_workers``
+        must then be 1).
+    point_hook:
+        Called with each :class:`SweepPoint` immediately before it executes;
+        exceptions propagate after everything already computed was stored —
+        which is how the tests simulate a mid-sweep kill.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore,
+        *,
+        resolver: Optional[Callable[[str], ScenarioSpec]] = None,
+        fingerprint: Optional[str] = None,
+        sweep_workers: int = 1,
+        point_hook: Optional[Callable[[SweepPoint], None]] = None,
+    ) -> None:
+        if sweep_workers < 1:
+            raise ValueError("sweep_workers must be >= 1")
+        self.spec = spec
+        self.store = store
+        self.resolver = resolver
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.sweep_workers = sweep_workers
+        self.point_hook = point_hook
+
+    def run(self) -> SweepReport:
+        plan = self.spec.plan(self.resolver)
+        report = SweepReport(
+            sweep_hash=self.spec.sweep_hash(),
+            fingerprint=self.fingerprint,
+            skipped=[dict(s) for s in plan.skipped],
+        )
+
+        jobs: List[Tuple[SweepPoint, ScenarioSpec, str]] = []
+        for point in plan.points:
+            resolved = point.resolve_spec(plan.bases[point.scenario])
+            key = point_key(point, resolved, self.fingerprint)
+            report.keys[point.point_id] = key
+            if self.store.has(key):
+                report.cached.append(point.point_id)
+            else:
+                jobs.append((point, resolved, key))
+
+        try:
+            if self.sweep_workers > 1:
+                self._run_sharded(jobs, report)
+            else:
+                self._run_serial(jobs, report)
+        finally:
+            # results.jsonl is the source of truth; the manifest is a derived
+            # index rewritten once per sweep (even an interrupted one).
+            self.store.flush_manifest()
+
+        report.store_digest = self.store.digest()
+        return report
+
+    # -- execution paths -----------------------------------------------------------
+
+    def _run_serial(self, jobs, report: SweepReport) -> None:
+        for point, resolved, key in jobs:
+            if self.point_hook is not None:
+                self.point_hook(point)
+            result = _execute_point((point, resolved))
+            self.store.put(key, point.point_id, point.scenario, self.fingerprint, result)
+            report.computed.append(point.point_id)
+
+    def _run_sharded(self, jobs, report: SweepReport) -> None:
+        offenders = [p.point_id for p, _, _ in jobs if p.campaign_workers > 1]
+        if offenders:
+            raise ValueError(
+                "sweep_workers > 1 requires campaign_workers == 1 on every point "
+                "(worker processes cannot spawn nested pools); offending points: "
+                + ", ".join(offenders)
+            )
+        # One batch of sweep_workers points at a time, stored after each
+        # batch: a kill loses at most the batch in flight, so long sweeps
+        # stay resumable (results are unaffected — points are independent).
+        for start in range(0, len(jobs), self.sweep_workers):
+            batch = jobs[start:start + self.sweep_workers]
+            for point, _, _ in batch:
+                if self.point_hook is not None:
+                    self.point_hook(point)
+            results = parallel_map(
+                _execute_point,
+                [(point, resolved) for point, resolved, _ in batch],
+                n_workers=len(batch),
+            )
+            for (point, _, key), result in zip(batch, results):
+                self.store.put(key, point.point_id, point.scenario, self.fingerprint, result)
+                report.computed.append(point.point_id)

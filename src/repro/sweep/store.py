@@ -1,0 +1,264 @@
+"""Content-addressed on-disk result store for sweep runs.
+
+Layout of a store directory::
+
+    store/
+      results.jsonl   # append-only: one JSON line per stored ExperimentResult
+      manifest.json   # derived index: key -> {point_id, scenario, fingerprint, seq}
+
+``results.jsonl`` is the source of truth; ``manifest.json`` is a derived
+index written by :meth:`ResultStore.flush_manifest` (the sweep engine calls
+it once per run) and by garbage collection — opening a store reads only, so
+pointing a read-only consumer (dry-run gc, report rendering) at a mistyped
+path creates nothing on disk.  Every :meth:`ResultStore.put` appends one
+line and flushes, so a killed sweep loses at most the line being written (a
+trailing partial line is tolerated and ignored on load); rerunning the sweep
+skips every completed key and appends only the missing points, which makes
+the resumed store *identical* to an uninterrupted run — the property
+:meth:`ResultStore.digest` exists to assert.  The digest
+canonicalizes entries by zeroing the only nondeterministic fields an
+:class:`~repro.api.experiment.ExperimentResult` carries (campaign wall-clock
+timings), so two stores with the same digest hold the same results.
+
+Keys come from :func:`repro.sweep.spec.point_key` and embed the **code
+fingerprint** — a hash over every ``*.py`` file of the installed ``repro``
+package — so results computed by older code are never served as current.
+Old-fingerprint entries stay on disk (they are the perf-trajectory history)
+until ``repro sweep gc --keep-latest N`` rewrites the store.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ResultStore", "GcReport", "code_fingerprint", "canonical_result"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every Python source file of the installed ``repro`` package."""
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def canonical_result(result: Dict[str, object]) -> Dict[str, object]:
+    """A deep copy with the wall-clock campaign timings zeroed.
+
+    Everything else in a result is deterministic for a fixed scenario and
+    seed, so this is the form store digests and resume tests compare.
+    """
+    result = copy.deepcopy(result)
+    campaign = result.get("campaign")
+    if isinstance(campaign, dict):
+        metrics = campaign.get("metrics")
+        if isinstance(metrics, dict):
+            metrics.pop("wall_seconds", None)
+            for shard in metrics.get("shards", ()):
+                if isinstance(shard, dict):
+                    shard.pop("seconds", None)
+    return result
+
+
+@dataclass
+class GcReport:
+    """What one garbage-collection pass kept and dropped."""
+
+    keep_latest: int
+    applied: bool
+    kept_fingerprints: List[str] = field(default_factory=list)
+    dropped_fingerprints: List[str] = field(default_factory=list)
+    dropped_points: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "keep_latest": self.keep_latest,
+            "applied": self.applied,
+            "kept_fingerprints": list(self.kept_fingerprints),
+            "dropped_fingerprints": list(self.dropped_fingerprints),
+            "dropped_points": list(self.dropped_points),
+        }
+
+
+class ResultStore:
+    """Durable key → :class:`ExperimentResult`-payload store (see module doc)."""
+
+    RESULTS_NAME = "results.jsonl"
+    MANIFEST_NAME = "manifest.json"
+    MANIFEST_VERSION = 1
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._next_seq = 0
+        self._load()
+
+    # -- paths ---------------------------------------------------------------------
+
+    @property
+    def results_path(self) -> pathlib.Path:
+        return self.root / self.RESULTS_NAME
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.root / self.MANIFEST_NAME
+
+    # -- loading -------------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Read-only: a missing or mistyped path creates nothing on disk."""
+        if self.results_path.exists():
+            with self.results_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A sweep killed mid-write leaves at most one partial
+                        # trailing line; the point it was storing simply reruns.
+                        continue
+                    if isinstance(entry, dict) and "key" in entry:
+                        self._entries[entry["key"]] = entry
+        self._next_seq = (
+            max((int(e.get("seq", -1)) for e in self._entries.values()), default=-1) + 1
+        )
+
+    def _manifest_text(self) -> str:
+        manifest = {
+            "version": self.MANIFEST_VERSION,
+            "entries": {
+                key: {
+                    "point_id": entry.get("point_id"),
+                    "scenario": entry.get("scenario"),
+                    "fingerprint": entry.get("fingerprint"),
+                    "seq": entry.get("seq"),
+                }
+                for key, entry in self._entries.items()
+            },
+        }
+        return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+    def flush_manifest(self) -> None:
+        """Rewrite the derived index (once per sweep, not once per put)."""
+        text = self._manifest_text()
+        if self.manifest_path.exists():
+            if self.manifest_path.read_text(encoding="utf-8") == text:
+                return
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.manifest_path.write_text(text, encoding="utf-8")
+
+    # -- core API ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self._entries.get(key)
+
+    def entries(self) -> List[Dict[str, object]]:
+        """All entries, ordered by write sequence."""
+        return sorted(self._entries.values(), key=lambda e: e.get("seq", 0))
+
+    def put(
+        self,
+        key: str,
+        point_id: str,
+        scenario: str,
+        fingerprint: str,
+        result: Dict[str, object],
+    ) -> None:
+        """Append one result line (durable per call; manifest flushed later)."""
+        entry = {
+            "key": key,
+            "point_id": point_id,
+            "scenario": scenario,
+            "fingerprint": fingerprint,
+            "seq": self._next_seq,
+            "result": result,
+        }
+        self._next_seq += 1
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        self._entries[key] = entry
+
+    def digest(self) -> str:
+        """Content digest over canonicalized entries (order-independent)."""
+        digest = hashlib.sha256()
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            canonical = {
+                "key": key,
+                "point_id": entry.get("point_id"),
+                "fingerprint": entry.get("fingerprint"),
+                "result": canonical_result(entry.get("result") or {}),
+            }
+            digest.update(json.dumps(canonical, sort_keys=True).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    # -- garbage collection --------------------------------------------------------
+
+    def gc(self, keep_latest: int, apply: bool = False) -> GcReport:
+        """Drop entries of all but the ``keep_latest`` most recent fingerprints.
+
+        Fingerprint recency is the highest write sequence any of its entries
+        carries.  The default is a dry run: nothing is touched until
+        ``apply=True`` (the CLI's ``--apply``).
+        """
+        if keep_latest < 1:
+            raise ValueError("keep_latest must be >= 1")
+        latest_seq: Dict[str, int] = {}
+        for entry in self._entries.values():
+            fingerprint = str(entry.get("fingerprint"))
+            latest_seq[fingerprint] = max(
+                latest_seq.get(fingerprint, -1), int(entry.get("seq", 0))
+            )
+        ordered = sorted(latest_seq, key=lambda f: latest_seq[f], reverse=True)
+        kept = ordered[:keep_latest]
+        dropped = ordered[keep_latest:]
+        report = GcReport(
+            keep_latest=keep_latest,
+            applied=apply,
+            kept_fingerprints=kept,
+            dropped_fingerprints=dropped,
+            dropped_points=sorted(
+                str(entry.get("point_id"))
+                for entry in self._entries.values()
+                if entry.get("fingerprint") in dropped
+            ),
+        )
+        if not apply or not dropped:
+            return report
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if entry.get("fingerprint") in kept
+        }
+        # Atomic rewrite: a kill mid-gc must not truncate the kept entries.
+        tmp_path = self.results_path.with_suffix(".jsonl.tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for entry in self.entries():
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(tmp_path, self.results_path)
+        self.flush_manifest()
+        return report

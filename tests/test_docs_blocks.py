@@ -1,0 +1,100 @@
+"""The documentation's fenced code blocks: extraction semantics + sanity.
+
+Execution of every runnable block happens in CI's ``docs`` job
+(``python tools/check_docs.py README.md docs/*.md``); the tier-1 suite keeps
+the fast checks — the extractor's parsing rules, that each documented page
+exists and carries runnable blocks, and that every runnable ``python`` block
+at least compiles.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "reproducing-the-paper.md",
+    REPO_ROOT / "docs" / "scenario-catalog.md",
+]
+
+
+def _check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Registration is required for dataclass annotation resolution under
+    # ``from __future__ import annotations``.
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExtractor:
+    def test_extracts_languages_and_skip_markers(self, tmp_path):
+        check_docs = _check_docs()
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# t\n"
+            "```bash\necho hi\n```\n"
+            "```bash no-run\nexit 1\n```\n"
+            "```python\nprint(1)\n```\n"
+            "```text\nnot code\n```\n"
+            "```\nplain\n```\n",
+            encoding="utf-8",
+        )
+        blocks = check_docs.extract_blocks(page)
+        assert [b.info for b in blocks] == ["bash", "bash no-run", "python", "text", ""]
+        assert [b.runnable for b in blocks] == [True, False, True, False, False]
+        assert blocks[0].code == "echo hi"
+        assert blocks[0].lineno == 2
+
+    def test_run_block_executes_bash_and_python(self, tmp_path):
+        check_docs = _check_docs()
+        page = tmp_path / "page.md"
+        page.write_text("```bash\ntrue\n```\n```python\nimport repro\n```\n")
+        for block in check_docs.extract_blocks(page):
+            result = check_docs.run_block(block)
+            assert result.returncode == 0, result.stderr
+
+    def test_run_block_reports_failures(self, tmp_path):
+        check_docs = _check_docs()
+        page = tmp_path / "page.md"
+        page.write_text("```bash\nfalse\n```\n")
+        [block] = check_docs.extract_blocks(page)
+        assert check_docs.run_block(block).returncode != 0
+
+
+class TestDocumentationPages:
+    def test_every_page_exists(self):
+        for path in DOC_FILES:
+            assert path.exists(), f"missing documentation page: {path}"
+
+    def test_docs_carry_runnable_blocks(self):
+        check_docs = _check_docs()
+        runnable = [
+            block
+            for path in DOC_FILES
+            for block in check_docs.extract_blocks(path)
+            if block.runnable
+        ]
+        assert len(runnable) >= 5, "the docs should document runnable commands"
+
+    def test_every_runnable_python_block_compiles(self):
+        check_docs = _check_docs()
+        for path in DOC_FILES:
+            for block in check_docs.extract_blocks(path):
+                if block.runnable and block.language == "python":
+                    compile(block.code, str(block.label), "exec")
+
+    def test_no_unclosed_fences(self):
+        for path in DOC_FILES:
+            fence_lines = [
+                line for line in path.read_text(encoding="utf-8").splitlines()
+                if line.strip().startswith("```")
+            ]
+            assert len(fence_lines) % 2 == 0, f"unbalanced code fences in {path}"

@@ -1,0 +1,141 @@
+"""ResultStore durability: resume tolerance, digests, garbage collection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import ResultStore, code_fingerprint
+from repro.sweep.store import canonical_result
+
+
+def _result(cycles: int = 100, wall: float = 0.5) -> dict:
+    return {
+        "scenario": "fake",
+        "workload": {"final_cycle": cycles},
+        "campaign": {
+            "summary": {"attacks": 1, "prevented": 1, "detected": 1},
+            "metrics": {
+                "n_workers": 1,
+                "wall_seconds": wall,
+                "shards": [{"shard": 0, "seed": 7, "attacks": 1, "seconds": wall}],
+            },
+        },
+    }
+
+
+class TestCoreApi:
+    def test_put_get_roundtrip_survives_reopen(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp", _result())
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.has("k1")
+        assert reopened.get("k1")["result"]["workload"]["final_cycle"] == 100
+        assert len(reopened) == 1
+
+    def test_last_write_wins_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp", _result(cycles=1))
+        store.put("k1", "p1", "fake", "fp", _result(cycles=2))
+        assert ResultStore(tmp_path / "store").get("k1")["result"]["workload"]["final_cycle"] == 2
+
+    def test_partial_trailing_line_is_tolerated(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp", _result())
+        with store.results_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "result": {"trunc')  # killed mid-write
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.has("k1") and not reopened.has("k2")
+
+    def test_read_only_open_creates_nothing_on_disk(self, tmp_path):
+        mistyped = tmp_path / "no-such-store"
+        store = ResultStore(mistyped)  # e.g. report rendering over a typo'd path
+        assert len(store) == 0
+        store.gc(keep_latest=1)  # dry run
+        assert not mistyped.exists()
+
+    def test_reopen_does_not_rewrite_an_up_to_date_manifest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp", _result())
+        store.flush_manifest()
+        before = store.manifest_path.stat().st_mtime_ns
+        reopened = ResultStore(tmp_path / "store")  # read-only consumer
+        reopened.gc(keep_latest=1)  # dry run must not touch the store either
+        reopened.flush_manifest()  # unchanged content: no rewrite
+        assert store.manifest_path.stat().st_mtime_ns == before
+
+    def test_manifest_mirrors_entries_after_flush(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "scn", "fp", _result())
+        store.flush_manifest()
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["entries"]["k1"]["point_id"] == "p1"
+        assert manifest["entries"]["k1"]["fingerprint"] == "fp"
+
+    def test_gc_apply_leaves_no_temp_file(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp-old", _result())
+        store.put("k2", "p2", "fake", "fp-new", _result())
+        store.gc(keep_latest=1, apply=True)
+        assert sorted(p.name for p in (tmp_path / "store").iterdir()) == [
+            "manifest.json", "results.jsonl",
+        ]
+
+
+class TestDigest:
+    def test_digest_ignores_wall_clock_timings(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        a.put("k1", "p1", "fake", "fp", _result(wall=0.1))
+        b.put("k1", "p1", "fake", "fp", _result(wall=9.9))
+        assert a.digest() == b.digest()
+
+    def test_digest_sees_real_result_changes(self, tmp_path):
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        a.put("k1", "p1", "fake", "fp", _result(cycles=1))
+        b.put("k1", "p1", "fake", "fp", _result(cycles=2))
+        assert a.digest() != b.digest()
+
+    def test_canonical_result_does_not_mutate_the_input(self):
+        original = _result(wall=3.3)
+        canonical = canonical_result(original)
+        assert original["campaign"]["metrics"]["wall_seconds"] == 3.3
+        assert "wall_seconds" not in canonical["campaign"]["metrics"]
+
+
+class TestGc:
+    def _seed(self, store: ResultStore) -> None:
+        store.put("k1", "p1", "fake", "fp-old", _result())
+        store.put("k2", "p2", "fake", "fp-old", _result())
+        store.put("k3", "p3", "fake", "fp-new", _result())
+
+    def test_dry_run_reports_but_keeps_everything(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        self._seed(store)
+        report = store.gc(keep_latest=1)
+        assert not report.applied
+        assert report.kept_fingerprints == ["fp-new"]
+        assert report.dropped_fingerprints == ["fp-old"]
+        assert report.dropped_points == ["p1", "p2"]
+        assert len(ResultStore(tmp_path / "store")) == 3
+
+    def test_apply_rewrites_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        self._seed(store)
+        report = store.gc(keep_latest=1, apply=True)
+        assert report.applied
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened) == 1 and reopened.has("k3")
+        manifest = json.loads(reopened.manifest_path.read_text())
+        assert set(manifest["entries"]) == {"k3"}
+
+    def test_keep_latest_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store").gc(keep_latest=0)
+
+
+def test_code_fingerprint_is_stable_within_a_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 16

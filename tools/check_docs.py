@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Doctest-style smoke runner for the documentation's fenced code blocks.
+
+Extracts every fenced ``bash`` / ``python`` block from the given markdown
+files and executes it from the repository root with ``PYTHONPATH=src``, so
+the documented commands are tested exactly as a reader would type them.
+The CI ``docs`` job runs this over ``README.md`` and ``docs/*.md``.
+
+Conventions:
+
+* blocks whose info string is exactly ``bash`` or ``python`` are executed,
+* a block tagged ``bash no-run`` / ``python no-run`` is rendered normally by
+  markdown viewers but skipped here (bootstrap commands such as
+  ``pip install``, or full-registry runs too slow for a smoke check),
+* any other language tag (``text`` diagrams, output samples, ...) is ignored,
+* bash blocks run under ``bash -euo pipefail``; any non-zero exit fails.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md        # run everything
+    python tools/check_docs.py --list README.md           # show the blocks
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Info strings that mark an executable block.
+RUNNABLE = {"bash", "python"}
+
+#: Seconds before a single block is considered hung.
+BLOCK_TIMEOUT = 600
+
+
+@dataclass
+class Block:
+    """One fenced code block of a markdown file."""
+
+    path: pathlib.Path
+    lineno: int  # 1-based line of the opening fence
+    info: str  # the full info string after the backticks
+    code: str
+
+    @property
+    def language(self) -> str:
+        return self.info.split()[0] if self.info.split() else ""
+
+    @property
+    def runnable(self) -> bool:
+        return self.info.strip() in RUNNABLE
+
+    @property
+    def label(self) -> str:
+        return f"{self.path}:{self.lineno} [{self.info or 'plain'}]"
+
+
+def extract_blocks(path: pathlib.Path) -> List[Block]:
+    """All fenced code blocks of one markdown file, in order."""
+    blocks: List[Block] = []
+    fence = None  # (info, start_lineno, lines)
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        stripped = line.strip()
+        if fence is None:
+            if stripped.startswith("```") and stripped != "```":
+                fence = (stripped[3:].strip(), lineno, [])
+            elif stripped == "```":
+                fence = ("", lineno, [])
+        elif stripped == "```":
+            info, start, lines = fence
+            blocks.append(Block(path=path, lineno=start, info=info, code="\n".join(lines)))
+            fence = None
+        else:
+            fence[2].append(line)
+    return blocks
+
+
+def run_block(block: Block) -> subprocess.CompletedProcess:
+    """Execute one runnable block from the repository root."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if block.language == "bash":
+        argv = ["bash", "-euo", "pipefail", "-c", block.code]
+    else:
+        argv = [sys.executable, "-c", block.code]
+    return subprocess.run(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=BLOCK_TIMEOUT,
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument("--list", action="store_true", help="list blocks without running")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    ran = skipped = 0
+    for name in args.files:
+        path = pathlib.Path(name)
+        for block in extract_blocks(path):
+            if args.list:
+                marker = "RUN " if block.runnable else "skip"
+                print(f"{marker} {block.label}")
+                continue
+            if not block.runnable:
+                skipped += 1
+                continue
+            ran += 1
+            try:
+                result = run_block(block)
+            except subprocess.TimeoutExpired:
+                failures += 1
+                print(f"FAIL {block.label} (timed out after {BLOCK_TIMEOUT}s)")
+                print("  " + "\n  ".join(block.code.splitlines()))
+                continue
+            if result.returncode != 0:
+                failures += 1
+                print(f"FAIL {block.label} (exit {result.returncode})")
+                print("  " + "\n  ".join(block.code.splitlines()))
+                tail = (result.stderr or result.stdout).strip().splitlines()[-15:]
+                for line in tail:
+                    print(f"  | {line}")
+            else:
+                print(f"ok   {block.label}")
+    if not args.list:
+        print(f"\n{ran} blocks executed, {skipped} skipped, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
