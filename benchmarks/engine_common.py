@@ -1,0 +1,155 @@
+"""Paired object-vs-vector engine measurements shared by the benchmarks.
+
+Two levels are measured and recorded side by side in the ``BENCH_*.json``
+artifacts:
+
+* **Drain wall-clock** — the same scenario workload drained to completion by
+  the object kernel loop and by the vector engine, on fresh platforms.  The
+  vector engine mirrors the object path's event calendar one event at a time
+  (that identity is the differential suite's contract), so this ratio is
+  bounded by the events it must still dispatch and the real device/arbiter
+  work both engines share.
+* **Policy-pass throughput** — the per-transaction cost of the firewall
+  policy evaluation itself: the vector engine's interned chain-table replay
+  against the object path's per-transaction filter-chain evaluation (the
+  decision-cached fast path), on the same warmed protected chain.  This is
+  the pass the batch engine actually vectorizes, and where the ≥5x CI gate
+  lives.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import replace
+from typing import Dict
+
+
+def measure_drain_pair(
+    scenario_name: str, n_operations: int, repeats: int = 3
+) -> Dict[str, float]:
+    """Best-of-``repeats`` drain seconds for both engines on one scenario.
+
+    Returns drain seconds per engine, the speedup, and the (asserted
+    identical) final cycle and kernel event count.
+    """
+    from repro.scenarios import registry
+    from repro.scenarios.builder import ScenarioBuilder
+
+    base = registry.get_scenario(scenario_name)
+    spec = replace(base, workload=replace(base.workload, n_operations=n_operations))
+
+    def drain(engine: str):
+        built = ScenarioBuilder(spec).build(True, _warn=False)
+        built.load_workload()
+        built.schedule_reconfigurations()
+        built.system.start_all(stagger=built.spec.workload.stagger)
+        started = time.perf_counter()
+        if engine == "vector":
+            from repro.engine import drive_workload
+
+            final, report = drive_workload(built.system, requested="vector")
+            assert final is not None, report.fallback_reason
+        else:
+            final = built.system.run()
+        seconds = time.perf_counter() - started
+        return seconds, final, built.system.sim.events_processed
+
+    object_runs = [drain("object") for _ in range(repeats)]
+    vector_runs = [drain("vector") for _ in range(repeats)]
+    # Engine choice must not move a single observable; the differential suite
+    # checks the full fingerprint, this keeps the benchmark honest too.
+    finals = {run[1] for run in object_runs} | {run[1] for run in vector_runs}
+    events = {run[2] for run in object_runs} | {run[2] for run in vector_runs}
+    assert len(finals) == 1 and len(events) == 1, (finals, events)
+
+    object_s = min(run[0] for run in object_runs)
+    vector_s = min(run[0] for run in vector_runs)
+    return {
+        "drain_scenario": scenario_name,
+        "drain_operations": n_operations,
+        "drain_events": events.pop(),
+        "drain_final_cycle": finals.pop(),
+        "drain_object_seconds": object_s,
+        "drain_vector_seconds": vector_s,
+        "drain_speedup": object_s / vector_s,
+    }
+
+
+def measure_policy_pass(n_calls: int = 20_000) -> Dict[str, float]:
+    """Steady-state policy-evaluation throughput, vector pass vs object path.
+
+    Builds one protected reference platform (no flood heuristic, so the
+    chain is pure policy evaluation), warms both paths over the same
+    transaction shapes, then times ``n_calls`` evaluations each.
+    """
+    from repro.core.secure import SecurityConfiguration, secure_reference_platform
+    from repro.engine.tables import ChainTable
+    from repro.soc.ports import apply_filter_chain
+    from repro.soc.system import build_reference_platform
+    from repro.soc.transaction import BusOperation, BusTransaction
+
+    system = build_reference_platform()
+    secure_reference_platform(
+        system, SecurityConfiguration(ddr_secure_size=2048, ddr_cipher_only_size=2048)
+    )
+    port = system.master_ports["cpu0"]
+    cfg = system.config
+
+    # A mix of internal (BRAM) and external (secure-window DDR) shapes, the
+    # request-side unit of work of every workload sweep.
+    txns = [
+        BusTransaction(master="cpu0", operation=BusOperation.READ,
+                       address=cfg.bram_base + 0x40 + 4 * k, width=4)
+        for k in range(32)
+    ] + [
+        BusTransaction(master="cpu0", operation=BusOperation.READ,
+                       address=cfg.ddr_base + 0x100 + 4 * k, width=4)
+        for k in range(32)
+    ]
+
+    table = ChainTable(port.filters, "request")
+
+    def object_call(txn, _filters=port.filters, _apply=apply_filter_chain):
+        return _apply(_filters, txn, "request")
+
+    # Warm both paths (priming decision caches / interning profiles) and
+    # check verdict + latency agreement while at it.
+    for txn in txns:
+        expected = object_call(txn)
+        for _ in range(3):
+            allowed, latency, _result = table.call(txn)
+            assert allowed is expected.allowed
+            assert latency == expected.latency
+
+    chunks = 5
+    per_chunk = max(1, n_calls // (chunks * len(txns)))
+
+    def timed(fn):
+        started = time.perf_counter()
+        for _ in range(per_chunk):
+            for txn in txns:
+                fn(txn)
+        return time.perf_counter() - started
+
+    table.flush()  # replay totals are deferred statistics, settled at flush
+    replayed_before = table.replayed
+    # Median of paired ratios: each chunk times both paths back to back, so
+    # slow drift (frequency scaling, background load) hits both sides of a
+    # ratio equally, and the median discards the occasional noisy chunk.
+    pairs = [(timed(object_call), timed(table.call)) for _ in range(chunks)]
+    calls = chunks * per_chunk * len(txns)
+    # The vector side must actually be replaying, not taking real calls.
+    table.flush()
+    assert table.replayed - replayed_before == calls
+
+    object_s = sum(o for o, _ in pairs)
+    vector_s = sum(v for _, v in pairs)
+    return {
+        "policy_calls": calls,
+        "policy_object_seconds": object_s,
+        "policy_vector_seconds": vector_s,
+        "policy_object_us_per_call": 1e6 * object_s / calls,
+        "policy_vector_us_per_call": 1e6 * vector_s / calls,
+        "policy_speedup": statistics.median(o / v for o, v in pairs),
+    }

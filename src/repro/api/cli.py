@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--workers", type=int, default=1, metavar="N",
                          help="campaign worker processes (default: 1, serial)")
     run_cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    run_cmd.add_argument("--engine", default=None,
+                         choices=["object", "vector", "auto"],
+                         help="workload execution engine (default: the scenario's "
+                              "own; results are identical across engines)")
 
     campaign_cmd = sub.add_parser("campaign", help="run only the scenario's attack campaign")
     campaign_cmd.add_argument("scenario", help="registered scenario name")
@@ -81,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_cmd.add_argument("--workers", type=int, default=None, metavar="N",
                               help="worker processes (default: one per attack, capped)")
     campaign_cmd.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    campaign_cmd.add_argument("--engine", default=None,
+                              choices=["object", "vector", "auto"],
+                              help="workload execution engine threaded into the "
+                                   "shipped scenario spec (results are identical)")
 
     sweep_cmd = sub.add_parser("sweep", help="grid sweeps with a persistent result store")
     sweep_sub = sweep_cmd.add_subparsers(dest="sweep_command", required=True)
@@ -96,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="campaign seed axis value (repeatable; default: 0)")
     sweep_run.add_argument("--campaign-workers", action="append", type=int, default=None,
                            metavar="N", help="campaign worker-count axis value (repeatable)")
+    sweep_run.add_argument("--engine", action="append", default=None, metavar="E",
+                           choices=["default", "object", "vector", "auto"],
+                           help="engine axis value (repeatable; 'default' keeps the "
+                                "scenario's own engine)")
     sweep_run.add_argument("--unprotected", action="store_true",
                            help="add the unprotected build to the protection axis")
     sweep_run.add_argument("--no-attacks", action="store_true",
@@ -161,6 +173,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         .with_seed(args.seed)
         .campaign(args.workers)
     )
+    if args.engine:
+        experiment.with_engine(args.engine)
     if args.no_attacks:
         experiment.no_attacks()
     trace_sink = None
@@ -183,13 +197,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    result = (
+    experiment = (
         Experiment.from_scenario(args.scenario)
         .with_seed(args.seed)
         .campaign(args.workers)
         .with_workload(None)
-        .run()
     )
+    if args.engine:
+        experiment.with_engine(args.engine)
+    result = experiment.run()
     campaign = result.campaign
     if campaign is None:
         print(f"scenario {args.scenario!r} has no attack mix", file=sys.stderr)
@@ -238,6 +254,9 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     placements = tuple(
         None if p == "default" else p for p in (args.placement or ["default"])
     )
+    engines = tuple(
+        None if e == "default" else e for e in (args.engine or ["default"])
+    )
     spec = SweepSpec(
         scenarios=_match_scenarios(args.scenario),
         placements=placements,
@@ -245,6 +264,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         campaign_workers=tuple(args.campaign_workers or [1]),
         protected=(True, False) if args.unprotected else (True,),
         attack_modes=("scenario", "none") if args.no_attacks else ("scenario",),
+        engines=engines,
         exclude=tuple(args.exclude or ()),
     )
     store = ResultStore(args.store)

@@ -55,9 +55,10 @@ from repro.api.events import EventBus, EventSink
 from repro.attacks.campaign import CampaignReport
 from repro.attacks.runner import CampaignRunner
 from repro.core.secure import SecuredPlatform
+from repro.engine import EngineSpec
 from repro.metrics.area import AreaModel
 from repro.metrics.latency import aggregate_hop_latency, generate_table2, placement_split
-from repro.scenarios import get_scenario, instantiate_attacks, list_scenarios
+from repro.scenarios import get_scenario, list_scenarios
 from repro.scenarios.builder import BuiltScenario, ScenarioBuilder
 from repro.scenarios.differential import reference_mode
 from repro.scenarios.spec import AttackSpec, ReconfigSpec, ScenarioSpec, WorkloadSpec
@@ -221,6 +222,22 @@ class Experiment:
         self._seed = seed
         return self
 
+    def with_engine(self, mode: str) -> "Experiment":
+        """Select the execution engine for the workload phase.
+
+        ``"object"`` (the event-driven kernel, the default), ``"vector"``
+        (the batch engine — parallel-array decode and policy passes over the
+        whole stream) or ``"auto"`` (vector where eligible).  Engine choice
+        never changes the result — the vector engine is an exact event mirror
+        and declines whole runs it cannot mirror — so every field of the
+        :class:`ExperimentResult` except ``meta["engine"]`` and wall-clock
+        timings is identical across modes.
+        """
+        engine = EngineSpec(mode=mode)
+        engine.validate()
+        self._spec = dataclasses.replace(self._spec, engine=engine)
+        return self
+
     def campaign(self, n_workers: Optional[int] = None) -> "Experiment":
         """Shard the attack campaign across worker processes.
 
@@ -331,9 +348,8 @@ class Experiment:
 
         campaign = None
         if self._run_attacks and spec.attacks:
-            runner = CampaignRunner(
-                instantiate_attacks(spec),
-                scenario=spec,
+            runner = CampaignRunner.from_spec(
+                spec,
                 n_workers=self._n_workers,
                 base_seed=self._seed,
                 collect_events=bus is not None,
@@ -367,6 +383,15 @@ class Experiment:
                 "n_workers": self._n_workers,
                 "instrumented": bus is not None,
                 "sinks": [type(s).__name__ for s in self._sinks],
+                # Provenance only: which engine drained the workload phase.
+                # Results are engine-invariant, so this never feeds a cache
+                # key or a fingerprint comparison.
+                "engine": (
+                    built.engine_report.to_dict()
+                    if built.engine_report is not None
+                    else {"requested": spec.engine.mode, "used": "object",
+                          "fallback_reason": None}
+                ),
             },
         )
 

@@ -263,9 +263,20 @@ class CampaignRunner:
         base_seed: int = 0,
         scenario=None,
         collect_events: bool = False,
+        _warn: bool = True,
     ) -> None:
         if not attacks:
             raise ValueError("campaign needs at least one attack")
+        if scenario is not None and _warn:
+            from repro._deprecation import warn_once
+
+            warn_once(
+                "campaign-runner-direct-scenario",
+                "constructing CampaignRunner(..., scenario=...) directly is "
+                "deprecated; use CampaignRunner.from_spec(spec, ...) (or the "
+                "Experiment facade), which instantiates the scenario's attack "
+                "mix and ships the spec to the workers for you",
+            )
         self.attacks = list(attacks)
         self.soc_config = soc_config
         self.security_config = security_config
@@ -282,6 +293,37 @@ class CampaignRunner:
         elif scenario is not None:
             self.scenario = scenario.name
             self._scenario_spec = scenario
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "ScenarioSpec",
+        *,
+        n_workers: Optional[int] = None,
+        base_seed: int = 0,
+        collect_events: bool = False,
+    ) -> "CampaignRunner":
+        """The supported constructor for scenario-driven campaigns.
+
+        Instantiates the scenario's attack mix fresh and ships the resolved
+        spec (plain picklable data, :class:`~repro.scenarios.spec.EngineSpec`
+        included) to each worker, which rebuilds the exact platform from it.
+        Raises :class:`ValueError` when the scenario defines no attacks —
+        same contract as direct construction with an empty battery.
+        """
+        from repro.scenarios import instantiate_attacks
+
+        attacks = instantiate_attacks(spec)
+        if not attacks:
+            raise ValueError(f"scenario {spec.name!r} has no attack mix")
+        return cls(
+            attacks,
+            n_workers=n_workers,
+            base_seed=base_seed,
+            scenario=spec,
+            collect_events=collect_events,
+            _warn=False,
+        )
 
     @classmethod
     def from_scenario(
@@ -305,13 +347,11 @@ class CampaignRunner:
             "repro.api.Experiment.from_scenario(name).campaign(n_workers=...)"
             ".run() instead",
         )
-        from repro.scenarios import get_scenario, instantiate_attacks
+        from repro.scenarios import get_scenario
 
-        spec = get_scenario(name)
-        attacks = instantiate_attacks(spec)
-        if not attacks:
-            raise ValueError(f"scenario {name!r} has no attack mix")
-        return cls(attacks, n_workers=n_workers, base_seed=base_seed, scenario=name)
+        return cls.from_spec(
+            get_scenario(name), n_workers=n_workers, base_seed=base_seed
+        )
 
     def _payloads(self, workers: int):
         shards = _deal_round_robin(len(self.attacks), workers)

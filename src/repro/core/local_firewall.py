@@ -153,6 +153,23 @@ class SecurityBuilder:
                 return tuple(tuple(window) for window in check.windows)
         return ()
 
+    def decision_key(self, txn: BusTransaction) -> tuple:
+        """The memoisation key of one transaction's verdict.
+
+        A verdict is a pure function of this tuple (given a fixed rule set —
+        tracked separately via the configuration memory's ``generation``).
+        The batch engine keys its per-batch lookup tables on the same tuple,
+        so engine replays are valid exactly when a cache hit would be.
+        """
+        return (
+            txn.address,
+            txn.size,
+            txn.is_write,
+            txn.width,
+            txn.burst_length,
+            self._windows_signature(),
+        )
+
     def evaluate(
         self, txn: BusTransaction, charge_latency: bool = True
     ) -> Tuple[Optional[SecurityPolicy], List[CheckResult]]:
@@ -173,14 +190,7 @@ class SecurityBuilder:
         if self.config_memory.generation != self._cache_generation:
             self.invalidate_cache()
 
-        key = (
-            txn.address,
-            txn.size,
-            txn.is_write,
-            txn.width,
-            txn.burst_length,
-            self._windows_signature(),
-        )
+        key = self.decision_key(txn)
         hit = self._cache.get(key)
         if hit is not None:
             policy, results, failed, missed_rules = hit

@@ -1,0 +1,39 @@
+"""Batch transaction engines.
+
+Two interchangeable ways to execute a scenario's protected workload:
+
+* the **object** engine — the event-driven kernel in :mod:`repro.soc.kernel`,
+  one ``Event`` per pipeline stage per transaction; always available, always
+  correct, and the reference the vector engine is held to;
+* the **vector** engine (:mod:`repro.engine.vector`) — lowers each processor
+  program to parallel arrays, pre-resolves address decode per unique shape,
+  replays firewall verdicts from per-chain profile tables, and drains the
+  whole stream through a specialised mirrored calendar.  Falls back to the
+  object path (whole-run or per-call) whenever exact mirroring is not
+  guaranteed.
+
+Engine selection is a first-class experiment parameter
+(:class:`~repro.engine.spec.EngineSpec`, surfaced as
+``Experiment.with_engine`` / ``--engine`` / the ``engines`` sweep axis) and
+never changes results — only wall-clock speed.  ``mode="auto"`` means
+"vector where eligible, object otherwise".
+"""
+
+from repro.engine.batch import BatchError, ProcessorBatch, build_batch, decode_prepass
+from repro.engine.spec import ENGINE_MODES, EngineReport, EngineSpec
+from repro.engine.tables import ChainTable
+from repro.engine.vector import EngineError, drive_workload, eligibility
+
+__all__ = [
+    "ENGINE_MODES",
+    "EngineSpec",
+    "EngineReport",
+    "EngineError",
+    "BatchError",
+    "ProcessorBatch",
+    "ChainTable",
+    "build_batch",
+    "decode_prepass",
+    "eligibility",
+    "drive_workload",
+]

@@ -1,0 +1,212 @@
+"""Batch representation of a workload's transaction stream.
+
+The vector engine does not interpret :class:`~repro.soc.processor.
+MemoryOperation` objects one at a time.  At setup it lowers every processor's
+program into a :class:`ProcessorBatch` — parallel arrays of the fields the
+hot loop needs (operation kind, address, width, burst length, payload, bus
+transfer cycles) — plus a *decode prepass* that resolves the address map for
+every unique ``(address, size)`` shape in the whole stream before the first
+cycle executes.  Policy evaluation is handled the same way by
+:mod:`repro.engine.tables`, keyed on the decision-cache shape of
+:class:`repro.core.local_firewall.SecurityBuilder`.
+
+Programs are validated once here (the object path validates inside
+``BusTransaction.__post_init__`` on every issue); a program the object path
+would reject raises :class:`BatchError`, which the engine turns into a
+run-level fallback so the object path reports the identical error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.soc.address_map import AddressMap, DecodeError
+from repro.soc.processor import OperationKind, Processor
+from repro.soc.transaction import BusOperation, BusTransaction
+
+__all__ = [
+    "COMPUTE",
+    "READ",
+    "WRITE",
+    "BatchError",
+    "ProcessorBatch",
+    "build_batch",
+    "decode_prepass",
+    "make_transaction",
+]
+
+
+#: Operation codes of the ``kinds`` array.
+COMPUTE, READ, WRITE = 0, 1, 2
+
+_OPERATION = {READ: BusOperation.READ, WRITE: BusOperation.WRITE}
+
+
+class BatchError(ValueError):
+    """A program cannot be lowered to a batch (the object path would raise
+    the matching error mid-run)."""
+
+
+class ProcessorBatch:
+    """One processor's program as parallel arrays (struct-of-arrays layout).
+
+    ``kinds[i]`` selects the union member: COMPUTE rows use ``computes[i]``;
+    READ/WRITE rows use ``operations/addresses/widths/bursts/sizes/datas/
+    transfer_cycles/thread_ids``.  ``generation`` snapshots the policy
+    generation visible when the batch was built (reporting only — the engine
+    re-checks generations per lookup, which is what keeps mid-stream
+    reconfiguration exact).
+    """
+
+    __slots__ = (
+        "master",
+        "kinds",
+        "operations",
+        "addresses",
+        "widths",
+        "bursts",
+        "sizes",
+        "datas",
+        "computes",
+        "transfer_cycles",
+        "thread_ids",
+        "generation",
+    )
+
+    def __init__(self, master: str) -> None:
+        self.master = master
+        self.kinds: List[int] = []
+        self.operations: List[Optional[BusOperation]] = []
+        self.addresses: List[int] = []
+        self.widths: List[int] = []
+        self.bursts: List[int] = []
+        self.sizes: List[int] = []
+        self.datas: List[Optional[bytes]] = []
+        self.computes: List[int] = []
+        self.transfer_cycles: List[int] = []
+        self.thread_ids: List[Optional[int]] = []
+        self.generation: int = 0
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def memory_shapes(self) -> List[Tuple[int, int]]:
+        """Unique ``(address, size)`` pairs of the batch's memory accesses."""
+        seen = {}
+        for kind, address, size in zip(self.kinds, self.addresses, self.sizes):
+            if kind != COMPUTE:
+                seen[(address, size)] = None
+        return list(seen)
+
+
+def build_batch(
+    processor: Processor,
+    address_phase_cycles: int,
+    data_phase_cycles_per_beat: int,
+) -> ProcessorBatch:
+    """Lower one processor's program into parallel arrays.
+
+    Raises :class:`BatchError` for any operation the object path's
+    ``BusTransaction`` constructor would reject, so the engine can fall back
+    and let the object path produce the identical exception.
+    """
+    batch = ProcessorBatch(processor.name)
+    append_kind = batch.kinds.append
+    for op in processor.program.operations:
+        if op.kind is OperationKind.COMPUTE:
+            if op.compute_cycles < 0:
+                raise BatchError(f"{processor.name}: negative compute burst")
+            append_kind(COMPUTE)
+            batch.operations.append(None)
+            batch.addresses.append(0)
+            batch.widths.append(0)
+            batch.bursts.append(0)
+            batch.sizes.append(0)
+            batch.datas.append(None)
+            batch.computes.append(op.compute_cycles)
+            batch.transfer_cycles.append(0)
+            batch.thread_ids.append(None)
+            continue
+        is_write = op.kind is OperationKind.WRITE
+        size = op.width * op.burst_length
+        if op.address < 0:
+            raise BatchError(f"{processor.name}: negative address {op.address:#x}")
+        if op.width not in (1, 2, 4):
+            raise BatchError(f"{processor.name}: width {op.width} not in (1, 2, 4)")
+        if op.burst_length < 1:
+            raise BatchError(f"{processor.name}: burst_length {op.burst_length} < 1")
+        if op.burst_length >= 1 << 16:
+            # Keeps the chain tables' packed (address, width, burst, op)
+            # shape keys collision-free.
+            raise BatchError(
+                f"{processor.name}: burst_length {op.burst_length} too large"
+            )
+        if is_write:
+            if op.data is None:
+                raise BatchError(f"{processor.name}: write without data")
+            if len(op.data) != size:
+                raise BatchError(
+                    f"{processor.name}: write data length {len(op.data)} != {size}"
+                )
+        append_kind(WRITE if is_write else READ)
+        batch.operations.append(_OPERATION[WRITE if is_write else READ])
+        batch.addresses.append(op.address)
+        batch.widths.append(op.width)
+        batch.bursts.append(op.burst_length)
+        batch.sizes.append(size)
+        batch.datas.append(op.data if is_write else None)
+        batch.computes.append(0)
+        batch.transfer_cycles.append(
+            address_phase_cycles + data_phase_cycles_per_beat * op.burst_length
+        )
+        batch.thread_ids.append(op.thread_id)
+    return batch
+
+
+def decode_prepass(
+    address_map: AddressMap,
+    batches: List[ProcessorBatch],
+) -> Dict[Tuple[int, int], Optional[str]]:
+    """Vectorized address-decode pass over every batch.
+
+    Resolves each unique ``(address, size)`` shape of the combined stream to
+    its target slave name — or ``None`` when the object path would raise a
+    :class:`~repro.soc.address_map.DecodeError` (the engine then mirrors the
+    bus's decode-error termination).  The returned table is the route lookup
+    the hot loop uses instead of per-transaction map scans; shapes first seen
+    at runtime (none, for pre-lowered batches) fall back to a live decode.
+    """
+    table: Dict[Tuple[int, int], Optional[str]] = {}
+    decode = address_map.decode
+    for batch in batches:
+        for shape in batch.memory_shapes:
+            if shape in table:
+                continue
+            try:
+                region = decode(shape[0], shape[1])
+            except DecodeError:
+                table[shape] = None
+            else:
+                table[shape] = region.slave
+    return table
+
+
+def make_transaction(
+    master: str,
+    operation: BusOperation,
+    address: int,
+    width: int,
+    burst_length: int,
+    data: Optional[bytes],
+) -> BusTransaction:
+    """Construct a pre-validated :class:`BusTransaction` without re-running
+    the dataclass validation (the batch already performed it)."""
+    return BusTransaction.blank(
+        master=master,
+        operation=operation,
+        address=address,
+        width=width,
+        burst_length=burst_length,
+        data=data,
+    )

@@ -1,0 +1,606 @@
+"""The vector execution engine: batch drain of a workload's calendar.
+
+The object path executes a workload as ~7 kernel events per transaction, each
+a generic ``Event`` dispatch into port/bus/filter code.  The vector engine
+replaces :meth:`Simulator.run` for the workload phase with a specialised loop
+over *opcodes*: it lowers every processor program into parallel arrays
+(:mod:`repro.engine.batch`), pre-resolves address decode for every unique
+shape, front-ends every filter chain with a profile/replay table
+(:mod:`repro.engine.tables`), and drains the whole stream through a mirrored
+calendar heap whose entries are plain tuples keyed by a single
+``time·2⁴⁴ + sequence`` integer instead of Event objects.
+
+**The identity contract.**  The engine is a 1:1 event mirror, not an
+approximation: each heap pop corresponds to exactly one object-path kernel
+event, at the same cycle, with the same sequence number, performing the same
+state transitions on the *real* platform objects (transactions, devices,
+monitors, arbiters, firewalls).  Anything shape-independent is replayed from
+tables; anything data-, time- or state-dependent — alerts, denials,
+reconfiguration, ciphering, flood trips, centralized SEM queueing — runs
+the real code at the right simulated time.  The differential harness
+(:mod:`repro.scenarios.differential`) holds the two engines to byte-identical
+fingerprints on every registered scenario.
+
+**Fallback triggers.**  The engine declines (and the caller runs the object
+path, observationally identical) when the platform is outside its mirrored
+subset: hierarchical fabrics (bridges, posted-write buffering, split
+transactions), an attached instrumentation event bus, processor completion
+hooks, custom port/bus subclasses, or a workload whose operations would fail
+transaction validation.  Per-transaction fallbacks (a shape that denies,
+transforms data or needs ciphering) stay *inside* the engine as real chain
+calls — only platform-level features force the object path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.batch import BatchError, build_batch, decode_prepass
+from repro.engine.spec import EngineReport
+from repro.engine.tables import ChainTable
+from repro.soc.fabric.segment import BusSegment
+from repro.soc.ports import MasterPort, SlavePort
+from repro.soc.processor import Processor
+from repro.soc.system import SoCSystem
+from repro.soc.transaction import BusTransaction, TransactionStatus
+
+__all__ = ["EngineError", "eligibility", "drive_workload"]
+
+
+class EngineError(RuntimeError):
+    """Internal invariant violation in the vector engine (a mirroring bug —
+    never a property of the scenario)."""
+
+
+_EXECUTE_NEXT = Processor._execute_next
+_NEW = BusTransaction.__new__
+
+# Heap keys pack (time, sequence) into one integer so every heap comparison
+# is a single int compare (sequences are unique, so ties cannot occur).
+_SEQ_BITS = 44
+
+# Opcodes of the mirrored calendar.  Each heap entry is
+# ``(key, opcode, a, b)`` with ``key = time << _SEQ_BITS | sequence``.
+_EXEC = 0         # processor _execute_next (start or post-compute)
+_SUBMIT = 1       # bus.submit
+_DELIVER = 2      # slave_port.deliver
+_ACCESS = 3       # slave_port._access_device
+_SRESP = 4        # slave_port._run_response_filters
+_RELEASE = 5      # bus reply -> _on_slave_reply (completed path)
+_SBLOCK = 6       # slave_port._reply_blocked (incl. release + master reply)
+_MBLOCK = 7       # master_port._finish_blocked
+_MFIN = 8         # master_port._finish_completed
+_DECODE_ERR = 9   # bus._finish_decode_error
+_ALIEN = 10       # any other scheduled callback (reconfiguration closures)
+
+
+class _PState:
+    """Per-processor engine state: the batch's parallel arrays (bound
+    directly for one-hop access in the hot loop) plus deferred statistics for
+    the processor and its (1:1) master port."""
+
+    __slots__ = (
+        "proc", "port", "batch", "master", "pc", "n", "mreq", "mresp",
+        "kinds", "operations", "addresses", "widths", "bursts", "datas",
+        "computes", "transfers", "threads", "targets", "transactions",
+        "issued", "p_blocked_requests", "p_blocked_responses",
+        "p_completed", "p_terminated",
+        "compute_ops", "compute_cycles", "memory_ops",
+        "completed_accesses", "blocked_accesses", "access_cycles",
+    )
+
+    def __init__(self, proc: Processor, batch) -> None:
+        self.proc = proc
+        self.port = proc.port
+        self.batch = batch
+        self.master = batch.master
+        self.pc = 0
+        self.n = len(batch)
+        self.mreq = ChainTable(proc.port.filters, "request")
+        self.mresp = ChainTable(proc.port.filters, "response")
+        self.kinds = batch.kinds
+        self.operations = batch.operations
+        self.addresses = batch.addresses
+        self.widths = batch.widths
+        self.bursts = batch.bursts
+        self.datas = batch.datas
+        self.computes = batch.computes
+        self.transfers = batch.transfer_cycles
+        self.threads = batch.thread_ids
+        self.targets: List[Optional["_SState"]] = []
+        self.transactions = proc.transactions
+        self.issued = 0
+        self.p_blocked_requests = 0
+        self.p_blocked_responses = 0
+        self.p_completed = 0
+        self.p_terminated = 0
+        self.compute_ops = 0
+        self.compute_cycles = 0
+        self.memory_ops = 0
+        self.completed_accesses = 0
+        self.blocked_accesses = 0
+        self.access_cycles = 0
+
+
+class _SState:
+    """Per-slave-port engine state: chain tables plus deferred statistics."""
+
+    __slots__ = ("port", "device", "access", "device_name", "slave_name",
+                 "req", "resp", "delivered", "blocked_requests",
+                 "blocked_responses")
+
+    def __init__(self, slave_name: str, port: SlavePort) -> None:
+        self.port = port
+        self.device = port.device
+        self.access = port.device.access
+        self.device_name = port.device.name
+        self.slave_name = slave_name
+        self.req = ChainTable(port.filters, "request")
+        self.resp = ChainTable(port.filters, "response")
+        self.delivered = 0
+        self.blocked_requests = 0
+        self.blocked_responses = 0
+
+
+def eligibility(system: SoCSystem) -> Optional[str]:
+    """Why this platform cannot run under the vector engine (None = it can).
+
+    These are *run-level* fallback triggers; per-transaction concerns
+    (alerts, ciphering, floods) are handled inside the engine by real calls.
+    """
+    bus = system.bus
+    if not isinstance(bus, BusSegment):
+        return _describe_fabric_fallback(system)
+    if type(bus).submit is not BusSegment.submit or (
+        type(bus)._try_grant is not BusSegment._try_grant
+    ):
+        return f"custom interconnect {type(bus).__name__} overrides arbitration"
+    if system.sim.event_bus is not None:
+        return "instrumentation event bus attached"
+    for name, port in bus._slave_ports.items():
+        if type(port) is not SlavePort:
+            return f"custom slave port {type(port).__name__} on {name}"
+        if getattr(port, "split_transactions", False):
+            return f"slave endpoint {name} uses split transactions"
+    for proc in system.processors.values():
+        if type(proc) is not Processor:
+            return f"custom processor {type(proc).__name__}"
+        if proc.on_finished is not None:
+            return f"processor {proc.name} has a completion hook"
+        if type(proc.port) is not MasterPort:
+            return f"custom master port {type(proc.port).__name__}"
+    return None
+
+
+def _describe_fabric_fallback(system: SoCSystem) -> str:
+    """Fallback reason for hierarchical fabrics, with a cross-segment shape
+    census (how much of the stream would cross a bridge) when the fabric's
+    router can answer it."""
+    reason = "hierarchical fabric (bridged segments use the object path)"
+    router = getattr(system.bus, "router", None)
+    segment_of_master = getattr(system.bus, "segment_of_master", None)
+    if router is None or segment_of_master is None:
+        return reason
+    crossing = 0
+    shapes = 0
+    for proc in system.processors.values():
+        segment = segment_of_master(proc.port.name)
+        if segment is None:
+            continue
+        seen = {
+            (op.address, op.width * op.burst_length)
+            for op in proc.program.operations
+            if op.is_memory_access
+        }
+        routes = router.resolve_many(segment, sorted(seen))
+        shapes += len(routes)
+        crossing += sum(
+            1 for route in routes.values() if route is not None and route.bridges
+        )
+    if shapes:
+        reason += f" ({crossing}/{shapes} unique shapes cross bridges)"
+    return reason
+
+
+def drive_workload(
+    system: SoCSystem, requested: str = "vector"
+) -> Tuple[Optional[int], EngineReport]:
+    """Drain the started workload under the vector engine.
+
+    Call *after* workload load / reconfiguration arming / ``start_all`` — the
+    engine takes ownership of the pending calendar.  Returns
+    ``(final_cycle, report)``; ``final_cycle`` is None when the engine
+    declined, in which case nothing was touched and the caller must run the
+    object path (``system.run()``).
+    """
+    reason = eligibility(system)
+    if reason is not None:
+        return None, EngineReport(requested=requested, used="object",
+                                  fallback_reason=reason)
+
+    bus = system.bus
+    pstates: Dict[Processor, _PState] = {}
+    try:
+        for proc in system.processors.values():
+            batch = build_batch(
+                proc, bus.address_phase_cycles, bus.data_phase_cycles_per_beat
+            )
+            pstates[proc] = _PState(proc, batch)
+    except BatchError as exc:
+        return None, EngineReport(
+            requested=requested, used="object",
+            fallback_reason=f"workload fails transaction validation ({exc})",
+        )
+
+    sstates = {
+        name: _SState(name, port) for name, port in bus._slave_ports.items()
+    }
+    shape_slaves = decode_prepass(
+        bus.address_map, [ps.batch for ps in pstates.values()]
+    )
+    route: Dict[Tuple[int, int], Optional[_SState]] = {
+        shape: (sstates.get(slave) if slave is not None else None)
+        for shape, slave in shape_slaves.items()
+    }
+    # Per-row target slave: array indexing in the hot loop instead of a
+    # (address, size) dict probe per transaction.
+    for ps in pstates.values():
+        batch = ps.batch
+        ps.targets = [
+            route[(address, size)] if kind else None
+            for kind, address, size in zip(
+                batch.kinds, batch.addresses, batch.sizes
+            )
+        ]
+
+    final = _drain(system, pstates, sstates, route)
+
+    tables = [t for ps in pstates.values() for t in (ps.mreq, ps.mresp)]
+    tables += [t for ss in sstates.values() for t in (ss.req, ss.resp)]
+    report = EngineReport(
+        requested=requested,
+        used="vector",
+        events=final[1],
+        batches=tuple(
+            (ps.proc.name, ps.n) for ps in pstates.values()
+        ),
+        unique_shapes=len(route),
+        profiles=sum(len(t.profiles) for t in tables),
+        replayed=sum(t.replayed for t in tables),
+        real_calls=sum(t.real_calls for t in tables),
+    )
+    return final[0], report
+
+
+def _drain(system, pstates, sstates, route) -> Tuple[int, int]:
+    """The mirrored event loop.  Returns (final cycle, events executed)."""
+    sim = system.sim
+    bus = system.bus
+    arbiter = bus.arbiter
+    waiting = bus._waiting
+    select = arbiter.select
+    add_master = arbiter.add_master
+    stage = bus.latency_stage
+    monitor = bus.monitor
+    history_append = monitor.history.append
+
+    heap: List[tuple] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    # Take over the calendar armed by start_all()/schedule_reconfigurations().
+    by_proc = {ps.proc: ps for ps in pstates.values()}
+    for ev in sim.drain_pending():
+        key = ev.time << _SEQ_BITS | ev.sequence
+        cb = ev.callback
+        if getattr(cb, "__func__", None) is _EXECUTE_NEXT:
+            heap.append((key, _EXEC, by_proc[cb.__self__], None))
+        else:
+            heap.append((key, _ALIEN, cb, ev.args))
+    heapq.heapify(heap)
+
+    seq = sim._sequence
+    busy = bus._busy
+    if busy:
+        raise EngineError("bus busy at workload start")
+    pending = 0  # waiting transactions across all masters (arbiter skip)
+
+    bus_submitted = 0
+    bus_granted = 0
+    bus_completed = 0
+    bus_decode_errors = 0
+    mon_master: Dict[str, int] = {}
+    mon_slave: Dict[str, int] = {}
+
+    n_events = 0
+    final_time = sim._now
+
+    READ_OP = _READ
+    ISSUED = TransactionStatus.ISSUED
+    GRANTED = TransactionStatus.GRANTED
+    COMPLETED = TransactionStatus.COMPLETED
+    BLOCKED_AT_MASTER = TransactionStatus.BLOCKED_AT_MASTER
+    BLOCKED_AT_SLAVE = TransactionStatus.BLOCKED_AT_SLAVE
+    DECODE_ERROR = TransactionStatus.DECODE_ERROR
+
+    def step(ps: _PState, time: int) -> None:
+        """Mirror of Processor._execute_next (one operation per activation)."""
+        nonlocal seq
+        pc = ps.pc
+        if pc >= ps.n:
+            proc = ps.proc
+            if proc.finished_at is None:
+                proc.finished_at = time
+                stats = proc.stats
+                stats["finished_at"] = time
+                if proc.started_at is not None:
+                    stats["execution_cycles"] = time - proc.started_at
+            return
+        ps.pc = pc + 1
+        kind = ps.kinds[pc]
+        if not kind:  # COMPUTE
+            cycles = ps.computes[pc]
+            ps.compute_ops += 1
+            ps.compute_cycles += cycles
+            push(heap, ((time + cycles) << _SEQ_BITS | seq, _EXEC, ps, None))
+            seq += 1
+            return
+        # Memory operation: mirror of MasterPort.issue, with the transaction
+        # constructed inline (fields pre-validated at batch build).
+        txn = _NEW(BusTransaction)
+        txn.master = ps.master
+        txn.operation = ps.operations[pc]
+        txn.address = ps.addresses[pc]
+        txn.width = ps.widths[pc]
+        txn.burst_length = ps.bursts[pc]
+        txn.data = ps.datas[pc]
+        txn.txn_id = _next_txn_id()
+        txn.status = ISSUED
+        txn.issued_at = time
+        txn.granted_at = -1
+        txn.completed_at = -1
+        txn.latency_breakdown = {}
+        thread_id = ps.threads[pc]
+        txn.annotations = {} if thread_id is None else {"thread_id": thread_id}
+        ps.memory_ops += 1
+        ps.transactions.append(txn)
+        ps.issued += 1
+        allowed, latency, result = ps.mreq.call(txn)
+        if allowed:
+            push(heap, (
+                (time + latency) << _SEQ_BITS | seq, _SUBMIT, ps,
+                (txn, ps.transfers[pc], ps.targets[pc]),
+            ))
+        else:
+            ps.p_blocked_requests += 1
+            push(heap, (
+                (time + latency) << _SEQ_BITS | seq, _MBLOCK, ps,
+                (txn, result.status or BLOCKED_AT_MASTER, result.reason),
+            ))
+        seq += 1
+
+    def complete_master(ps: _PState, txn: BusTransaction, time: int) -> None:
+        """Mirror of MasterPort._complete + Processor._on_transaction_done."""
+        if txn.status is COMPLETED:
+            ps.p_completed += 1
+            ps.completed_accesses += 1
+        else:
+            ps.p_terminated += 1
+            ps.blocked_accesses += 1
+            ps.proc.blocked_transactions.append(txn)
+        latency = txn.completed_at - txn.issued_at
+        if latency > 0:
+            ps.access_cycles += latency
+        step(ps, time)
+
+    def try_grant(time: int) -> None:
+        """Mirror of BusSegment._try_grant."""
+        nonlocal seq, busy, pending, bus_granted, bus_decode_errors
+        if busy or not pending:
+            return
+        winner = select(waiting)
+        if winner is None:
+            return
+        txn, ps, transfer, sstate = waiting[winner].popleft()
+        pending -= 1
+        busy = True
+        txn.granted_at = time
+        txn.status = GRANTED
+        bus_granted += 1
+        bd = txn.latency_breakdown
+        bd[stage] = bd.get(stage, 0) + transfer
+        if sstate is None:
+            bus_decode_errors += 1
+            push(heap, ((time + transfer) << _SEQ_BITS | seq,
+                        _DECODE_ERR, ps, txn))
+        else:
+            history_append(txn)
+            master = txn.master
+            mon_master[master] = mon_master.get(master, 0) + 1
+            slave = sstate.slave_name
+            mon_slave[slave] = mon_slave.get(slave, 0) + 1
+            push(heap, ((time + transfer) << _SEQ_BITS | seq,
+                        _DELIVER, ps, (txn, sstate)))
+        seq += 1
+
+    while heap:
+        key, op, a, b = pop(heap)
+        time = key >> _SEQ_BITS
+        sim._now = time
+        n_events += 1
+
+        if op == _EXEC:
+            step(a, time)
+        elif op == _SUBMIT:
+            txn, transfer, sstate = b
+            master = txn.master
+            queue = waiting.get(master)
+            if queue is None:
+                queue = waiting[master] = deque()
+                add_master(master)
+            queue.append((txn, a, transfer, sstate))
+            pending += 1
+            bus_submitted += 1
+            try_grant(time)
+        elif op == _DELIVER:
+            txn, sstate = b
+            sstate.delivered += 1
+            allowed, latency, result = sstate.req.call(txn)
+            if allowed:
+                push(heap, ((time + latency) << _SEQ_BITS | seq,
+                            _ACCESS, a, b))
+            else:
+                sstate.blocked_requests += 1
+                push(heap, (
+                    (time + latency) << _SEQ_BITS | seq, _SBLOCK, a,
+                    (txn, result.status or BLOCKED_AT_SLAVE, result.reason),
+                ))
+            seq += 1
+        elif op == _ACCESS:
+            txn, sstate = b
+            latency, data = sstate.access(txn)
+            bd = txn.latency_breakdown
+            name = sstate.device_name
+            bd[name] = bd.get(name, 0) + latency
+            if data is not None and txn.operation is READ_OP:
+                txn.data = data
+            push(heap, ((time + latency) << _SEQ_BITS | seq, _SRESP, a, b))
+            seq += 1
+        elif op == _SRESP:
+            txn, sstate = b
+            allowed, latency, result = sstate.resp.call(txn)
+            if allowed:
+                push(heap, ((time + latency) << _SEQ_BITS | seq,
+                            _RELEASE, a, txn))
+            else:
+                sstate.blocked_responses += 1
+                push(heap, (
+                    (time + latency) << _SEQ_BITS | seq, _SBLOCK, a,
+                    (txn, result.status or BLOCKED_AT_SLAVE, result.reason),
+                ))
+            seq += 1
+        elif op == _RELEASE:
+            # _release_and_reply with the master's response path inline: the
+            # master's follow-up schedules take sequence numbers *before* the
+            # next grant's, exactly as the object path's synchronous reply.
+            txn = b
+            busy = False
+            bus_completed += 1
+            allowed, latency, result = a.mresp.call(txn)
+            if allowed:
+                push(heap, ((time + latency) << _SEQ_BITS | seq,
+                            _MFIN, a, txn))
+            else:
+                a.p_blocked_responses += 1
+                push(heap, (
+                    (time + latency) << _SEQ_BITS | seq, _MBLOCK, a,
+                    (txn, result.status or BLOCKED_AT_MASTER, result.reason),
+                ))
+            seq += 1
+            try_grant(time)
+        elif op == _MFIN:
+            txn = b
+            txn.completed_at = time
+            txn.status = COMPLETED
+            complete_master(a, txn, time)
+        elif op == _SBLOCK:
+            txn, status, reason = b
+            txn.mark_blocked(time, status, reason)
+            busy = False
+            bus_completed += 1
+            complete_master(a, txn, time)
+            try_grant(time)
+        elif op == _MBLOCK:
+            txn, status, reason = b
+            txn.mark_blocked(time, status, reason)
+            complete_master(a, txn, time)
+        elif op == _DECODE_ERR:
+            txn = b
+            txn.mark_blocked(time, DECODE_ERROR, "address decode error")
+            busy = False
+            bus_completed += 1
+            complete_master(a, txn, time)
+            try_grant(time)
+        elif op == _ALIEN:
+            # Run foreign callbacks (reconfiguration closures) on the real
+            # simulator, then absorb anything they scheduled.
+            sim._sequence = seq
+            a(*b)
+            if sim._queue:
+                for ev in sim.drain_pending():
+                    ekey = ev.time << _SEQ_BITS | ev.sequence
+                    cb = ev.callback
+                    if getattr(cb, "__func__", None) is _EXECUTE_NEXT:
+                        push(heap, (ekey, _EXEC, by_proc[cb.__self__], None))
+                    else:
+                        push(heap, (ekey, _ALIEN, cb, ev.args))
+            seq = sim._sequence
+        else:  # pragma: no cover - unreachable
+            raise EngineError(f"unknown opcode {op}")
+        final_time = time
+
+    if busy or any(waiting.values()):
+        raise EngineError("transactions left in flight after drain")
+
+    # Settle deferred state back onto the real platform objects.
+    sim._sequence = seq
+    sim.resync(final_time, n_events)
+
+    for ps in pstates.values():
+        _merge(ps.proc.stats, (
+            ("compute_ops", ps.compute_ops),
+            ("compute_cycles", ps.compute_cycles),
+            ("memory_ops", ps.memory_ops),
+            ("completed_accesses", ps.completed_accesses),
+            ("blocked_accesses", ps.blocked_accesses),
+            ("access_cycles", ps.access_cycles),
+        ))
+        _merge(ps.port.stats, (
+            ("issued", ps.issued),
+            ("blocked_requests", ps.p_blocked_requests),
+            ("blocked_responses", ps.p_blocked_responses),
+            ("completed", ps.p_completed),
+            ("terminated", ps.p_terminated),
+        ))
+        ps.mreq.flush()
+        ps.mresp.flush()
+    for ss in sstates.values():
+        _merge(ss.port.stats, (
+            ("delivered", ss.delivered),
+            ("blocked_requests", ss.blocked_requests),
+            ("blocked_responses", ss.blocked_responses),
+        ))
+        ss.req.flush()
+        ss.resp.flush()
+    _merge(bus.stats, (
+        ("submitted", bus_submitted),
+        ("granted", bus_granted),
+        ("completed", bus_completed),
+        ("decode_errors", bus_decode_errors),
+    ))
+    per_master = monitor.per_master
+    for master, count in mon_master.items():
+        per_master[master] = per_master.get(master, 0) + count
+    per_slave = monitor.per_slave
+    for slave, count in mon_slave.items():
+        per_slave[slave] = per_slave.get(slave, 0) + count
+
+    return final_time, n_events
+
+
+def _merge(stats: dict, items: Tuple[Tuple[str, int], ...]) -> None:
+    for key, value in items:
+        if value:
+            stats[key] = stats.get(key, 0) + value
+
+
+# Bound late to keep module import order simple.
+from repro.soc import transaction as _transaction_mod  # noqa: E402
+
+_READ = _transaction_mod.BusOperation.READ
+
+
+def _next_txn_id() -> int:
+    return next(_transaction_mod._txn_ids)

@@ -133,3 +133,19 @@ class FabricRouter:
             return self.resolve(segment, address, size)
         except (DecodeError, RoutingError):
             return None
+
+    def resolve_many(
+        self, segment: str, shapes: List[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], Optional[Route]]:
+        """Resolve a whole batch of unique ``(address, size)`` shapes at once.
+
+        The batch engine uses this to characterise a transaction stream
+        against a hierarchical fabric before deciding to fall back: the
+        returned map tells it how many shapes would cross bridges (and is the
+        shape census reported in the engine report).  Unroutable shapes map
+        to None, mirroring :meth:`try_resolve`.
+        """
+        return {
+            (address, size): self.try_resolve(segment, address, size)
+            for address, size in shapes
+        }

@@ -145,6 +145,15 @@ class BusSegment(Component, Interconnect):
 
     # -- request path ---------------------------------------------------------------
 
+    def transfer_cycles(self, burst_length: int) -> int:
+        """Bus occupancy of one transaction: address phase plus one data phase
+        per beat.  Exposed so the batch engine can precompute occupancy for a
+        whole transaction stream in one pass over the burst-length array."""
+        return (
+            self.address_phase_cycles
+            + self.data_phase_cycles_per_beat * burst_length
+        )
+
     def submit(self, txn: BusTransaction, reply: Callable[[BusTransaction], None]) -> None:
         """Queue a transaction for arbitration (called by a master port)."""
         if txn.master not in self._waiting:
@@ -167,10 +176,7 @@ class BusSegment(Component, Interconnect):
         txn.mark_granted(self.sim.now)
         self.bump("granted")
 
-        transfer_cycles = (
-            self.address_phase_cycles
-            + self.data_phase_cycles_per_beat * txn.burst_length
-        )
+        transfer_cycles = self.transfer_cycles(txn.burst_length)
         txn.add_latency(self.latency_stage, transfer_cycles)
 
         try:

@@ -162,6 +162,35 @@ class Simulator:
         """Number of not-yet-cancelled events still queued."""
         return sum(1 for e in self._queue if not e.cancelled)
 
+    def drain_pending(self) -> List[Event]:
+        """Remove and return every queued live event in (time, sequence) order.
+
+        This is the hand-off point for alternative execution engines (the
+        batch engine of :mod:`repro.engine`): they take ownership of the
+        pending calendar, execute it under their own loop, and leave the
+        simulator's clock/sequence state consistent via :meth:`resync`.
+        Cancelled events are discarded, exactly as :meth:`run` would skip
+        them.
+        """
+        drained: List[Event] = []
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            event = pop(queue)
+            if not event.cancelled:
+                drained.append(event)
+        return drained
+
+    def resync(self, now: int, extra_events: int = 0) -> None:
+        """Advance the clock and event statistics on behalf of an external
+        execution engine that drained the calendar via :meth:`drain_pending`."""
+        if now < self._now:
+            raise SimulationError(
+                f"cannot move time backwards (now={self._now}, target={now})"
+            )
+        self._now = now
+        self.events_processed += extra_events
+
     # -- registry -----------------------------------------------------------------
 
     def register(self, component: "Component") -> None:

@@ -309,6 +309,13 @@ class SlavePort(Component):
     bus via the supplied reply function.
     """
 
+    #: Whether the segment may release the bus at request hand-off instead of
+    #: holding it until the reply returns.  False for plain device ports;
+    #: bridge ingress endpoints override it (posted-write buffering).  The
+    #: batch engine keys its eligibility check off this flag: split-capable
+    #: endpoints always take the object path.
+    split_transactions = False
+
     def __init__(
         self,
         sim: Simulator,

@@ -28,7 +28,7 @@ from repro.api.experiment import Experiment
 from repro.attacks.runner import parallel_map
 from repro.scenarios.spec import ScenarioSpec
 from repro.sweep.spec import SweepPoint, SweepSpec, point_key
-from repro.sweep.store import ResultStore, code_fingerprint
+from repro.sweep.store import ResultStore, code_fingerprint, engine_fingerprint
 
 __all__ = ["SweepRunner", "SweepReport"]
 
@@ -91,7 +91,13 @@ class SweepRunner:
         spec-hash invalidation.
     fingerprint:
         Code fingerprint baked into every key; defaults to
-        :func:`repro.sweep.store.code_fingerprint`.
+        :func:`repro.sweep.store.code_fingerprint` (which excludes the
+        engine subtree).
+    engine_fp:
+        Fingerprint of ``repro/engine/`` mixed into the keys of points whose
+        resolved spec runs a non-object engine; defaults to
+        :func:`repro.sweep.store.engine_fingerprint`.  Editing engine code
+        therefore invalidates exactly the vector/auto cells.
     sweep_workers:
         ``1`` (default) runs points serially in-process; ``>1`` shards the
         missing points across processes (every point's ``campaign_workers``
@@ -109,6 +115,7 @@ class SweepRunner:
         *,
         resolver: Optional[Callable[[str], ScenarioSpec]] = None,
         fingerprint: Optional[str] = None,
+        engine_fp: Optional[str] = None,
         sweep_workers: int = 1,
         point_hook: Optional[Callable[[SweepPoint], None]] = None,
     ) -> None:
@@ -118,6 +125,7 @@ class SweepRunner:
         self.store = store
         self.resolver = resolver
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.engine_fp = engine_fp if engine_fp is not None else engine_fingerprint()
         self.sweep_workers = sweep_workers
         self.point_hook = point_hook
 
@@ -132,7 +140,14 @@ class SweepRunner:
         jobs: List[Tuple[SweepPoint, ScenarioSpec, str]] = []
         for point in plan.points:
             resolved = point.resolve_spec(plan.bases[point.scenario])
-            key = point_key(point, resolved, self.fingerprint)
+            key = point_key(
+                point,
+                resolved,
+                self.fingerprint,
+                # Object-path results cannot depend on engine code; only
+                # cells that actually run the vector/auto path key on it.
+                self.engine_fp if resolved.engine.mode != "object" else None,
+            )
             report.keys[point.point_id] = key
             if self.store.has(key):
                 report.cached.append(point.point_id)

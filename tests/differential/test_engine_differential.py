@@ -1,0 +1,93 @@
+"""Differential harness for the vectorized batch engine.
+
+The vector engine's contract is *fingerprint identity*: for every registered
+scenario, draining the workload through the batch engine must produce exactly
+the observables the object path produces — same alert stream (cycle, firewall,
+master, violation, address — in order), same event and cycle counts, same
+memory images, same firewall verdict counters, same reaction log.  Scenarios
+the engine cannot mirror (bridged segments, custom ports) must *decline* with
+a recorded reason and leave the object path to run, never approximate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import registry
+from repro.scenarios.builder import ScenarioBuilder
+from repro.scenarios.differential import _variant_fingerprint, diff_fingerprints
+
+ALL_SCENARIOS = registry.list_scenarios()
+
+#: Scenarios on a single flat bus segment: the engine must actually engage.
+FLAT_SCENARIOS = {
+    "minimal_1x1",
+    "paper_baseline",
+    "many_master_contention",
+    "sparse_protection",
+    "dense_protection",
+    "reconfiguration_under_load",
+    "attack_heavy",
+    "crypto_heavy",
+    "centralized_baseline_mirror",
+}
+
+
+def _fingerprint(spec, protected: bool, engine: str):
+    built = ScenarioBuilder(spec).build(protected, _warn=False)
+    final = built.run_workload(engine=engine)
+    return _variant_fingerprint(built, final), built.engine_report
+
+
+@pytest.mark.parametrize("protected", [True, False], ids=["protected", "unprotected"])
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_vector_engine_is_fingerprint_identical(name, protected):
+    spec = registry.get_scenario(name)
+    fp_object, _ = _fingerprint(spec, protected, "object")
+    fp_vector, report = _fingerprint(spec, protected, "vector")
+
+    diffs = diff_fingerprints(fp_object, fp_vector)
+    assert not diffs, (
+        f"{name} (protected={protected}) diverged under the vector engine:\n  "
+        + "\n  ".join(diffs)
+    )
+
+    assert report is not None, "vector runs must leave an engine report"
+    assert report.requested == "vector"
+    if name in FLAT_SCENARIOS:
+        assert report.used == "vector", report.fallback_reason
+        assert report.events > 0
+        assert len(report.batches) > 0
+    else:
+        # Hierarchical fabrics are outside the mirrored subset: the engine
+        # must decline the whole run with a reason, not approximate it.
+        assert report.used == "object"
+        assert report.fallback_reason
+        assert "hierarchical" in report.fallback_reason
+
+
+def test_registry_covers_both_fabric_shapes():
+    """The identity claim is only meaningful if the registry exercises both
+    the engaged path and the declined path."""
+    names = set(ALL_SCENARIOS)
+    assert FLAT_SCENARIOS <= names
+    assert names - FLAT_SCENARIOS, "expected at least one hierarchical scenario"
+
+
+def test_auto_mode_falls_back_silently_on_hierarchical_fabrics():
+    spec = registry.get_scenario("deep_hierarchy_3seg")
+    fp_object, _ = _fingerprint(spec, True, "object")
+    fp_auto, report = _fingerprint(spec, True, "auto")
+    assert not diff_fingerprints(fp_object, fp_auto)
+    assert report is not None and report.requested == "auto"
+    assert report.used == "object" and report.fallback_reason
+
+
+def test_replay_actually_happens_on_steady_workloads():
+    """The engine must not degenerate into per-transaction real calls: on the
+    paper baseline the interned policy tables carry most of the stream."""
+    spec = registry.get_scenario("paper_baseline")
+    _, report = _fingerprint(spec, True, "vector")
+    assert report.used == "vector"
+    assert report.replayed > report.real_calls
+    assert report.unique_shapes > 0

@@ -27,7 +27,7 @@ from repro.api import (
 )
 from repro.attacks.runner import CampaignRunner
 from repro.core.secure import SecurityConfiguration, secure_reference_platform
-from repro.scenarios import get_scenario, instantiate_attacks
+from repro.scenarios import get_scenario
 from repro.scenarios.differential import diff_fingerprints
 from repro.soc.system import build_reference_platform
 from repro.soc.transaction import BusOperation, BusTransaction, TransactionStatus
@@ -182,11 +182,8 @@ class TestCampaignShardMerge:
         spec = get_scenario("paper_baseline")
 
         def run(workers):
-            return CampaignRunner(
-                instantiate_attacks(spec),
-                scenario=spec,
-                n_workers=workers,
-                collect_events=True,
+            return CampaignRunner.from_spec(
+                spec, n_workers=workers, collect_events=True
             ).run()
 
         serial = run(1)
@@ -198,7 +195,7 @@ class TestCampaignShardMerge:
 
     def test_event_totals_empty_without_collect(self):
         spec = get_scenario("minimal_1x1")
-        report = CampaignRunner(instantiate_attacks(spec), scenario=spec, n_workers=1).run()
+        report = CampaignRunner.from_spec(spec, n_workers=1).run()
         assert report.event_totals == {}
 
 

@@ -106,6 +106,52 @@ class TestExperimentPipeline:
             repro.does_not_exist
 
 
+class TestEngineSelection:
+    """`with_engine` threads the batch engine through the façade: results are
+    identical to the object path, and the meta block records what ran."""
+
+    def test_vector_engine_result_matches_object_path(self):
+        from repro.sweep.store import canonical_result
+
+        def scrubbed(mode):
+            result = (
+                Experiment.from_scenario("minimal_1x1").with_engine(mode).run()
+            )
+            payload = canonical_result(result.to_dict())
+            payload["meta"] = None  # provenance (incl. engine report) differs
+            return payload, result.meta["engine"]
+
+        obj, obj_engine = scrubbed("object")
+        vec, vec_engine = scrubbed("vector")
+        assert obj == vec
+        assert obj_engine["used"] == "object"
+        assert vec_engine["used"] == "vector"
+        assert vec_engine["replayed"] is not None
+
+    def test_auto_engine_falls_back_on_hierarchical_fabrics(self):
+        result = (
+            Experiment.from_scenario("deep_hierarchy_3seg")
+            .no_attacks()
+            .with_engine("auto")
+            .run()
+        )
+        engine = result.meta["engine"]
+        assert engine["requested"] == "auto"
+        assert engine["used"] == "object"
+        assert "hierarchical" in engine["fallback_reason"]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            Experiment.from_scenario("minimal_1x1").with_engine("warp")
+
+    def test_cli_engine_flag_reaches_the_meta_block(self, capsys):
+        assert cli_main(
+            ["run", "minimal_1x1", "--no-attacks", "--engine", "vector", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["engine"]["used"] == "vector"
+
+
 class TestSummaryPlacement:
     """SecuredPlatform.summary() must cover bridge firewalls and placement."""
 

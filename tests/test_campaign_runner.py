@@ -140,6 +140,66 @@ class TestScenarioCampaigns:
             registry._REGISTRY.pop("minimal_no_attacks", None)
 
 
+class TestFromSpecRouting:
+    """``from_spec`` supersedes direct ``CampaignRunner(..., scenario=...)``
+    construction: identical results, one deprecation warning per process."""
+
+    def test_from_spec_matches_direct_construction(self):
+        import warnings
+
+        from repro.scenarios import get_scenario, instantiate_attacks
+
+        spec = get_scenario("minimal_1x1")
+        new = CampaignRunner.from_spec(spec, n_workers=1).run()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = CampaignRunner(
+                instantiate_attacks(spec), scenario=spec, n_workers=1
+            ).run()
+        assert _row_fingerprint(old) == _row_fingerprint(new)
+        assert old.monitor_totals == new.monitor_totals
+        assert new.metrics["scenario"] == "minimal_1x1"
+
+    def test_direct_scenario_construction_warns_once_per_process(self):
+        import warnings
+
+        import pytest
+
+        from repro import _deprecation
+        from repro.scenarios import get_scenario, instantiate_attacks
+
+        spec = get_scenario("minimal_1x1")
+        _deprecation.reset()
+        with pytest.warns(DeprecationWarning, match="from_spec"):
+            CampaignRunner(instantiate_attacks(spec), scenario=spec, n_workers=1)
+        # Second construction is silent (once-per-process dedup) ...
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            CampaignRunner(instantiate_attacks(spec), scenario=spec, n_workers=1)
+
+    def test_config_path_construction_never_warns(self):
+        import warnings
+
+        from repro import _deprecation
+
+        # ... and the raw-config path (no scenario) is not deprecated at all.
+        _deprecation.reset()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            CampaignRunner(_attacks(), security_config=SECURITY, n_workers=1)
+
+    def test_from_spec_rejects_attackless_scenario(self):
+        from dataclasses import replace
+
+        import pytest
+
+        from repro.scenarios import get_scenario
+
+        spec = replace(get_scenario("minimal_1x1"), attacks=())
+        with pytest.raises(ValueError, match="no attack mix"):
+            CampaignRunner.from_spec(spec)
+
+
 class TestShardingHelpers:
     def test_shard_seeds_are_deterministic_and_distinct(self):
         seeds = [shard_seed(42, index) for index in range(16)]
