@@ -1,4 +1,4 @@
-"""Once-per-process deprecation warnings for the legacy entry points.
+"""Once-per-process warnings (deprecations and degraded-mode notices).
 
 The unified experiment API (:mod:`repro.api`) supersedes several standalone
 entry points (``secure_platform``, direct ``ScenarioBuilder.build`` use,
@@ -6,6 +6,10 @@ entry points (``secure_platform``, direct ``ScenarioBuilder.build`` use,
 shims over the new layer, but each announces itself exactly once per process
 — loud enough to steer new code, quiet enough not to spam a campaign that
 calls the shim thousands of times.
+
+The same dedup machinery also serves runtime degradations that would
+otherwise spam (``category=RuntimeWarning``): e.g. a sharded sweep invoked
+inside a daemon worker process falling back to serial execution.
 
 This module has no intra-package imports so every layer can use it without
 creating cycles.
@@ -21,8 +25,13 @@ __all__ = ["warn_once", "reset", "already_warned"]
 _SEEN: Set[str] = set()
 
 
-def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
-    """Emit ``DeprecationWarning`` for ``key`` the first time it is seen.
+def warn_once(
+    key: str,
+    message: str,
+    stacklevel: int = 3,
+    category: type = DeprecationWarning,
+) -> bool:
+    """Emit a warning for ``key`` the first time it is seen.
 
     Returns True when the warning was actually emitted.  Deduplication is
     keyed on ``key`` (not on the caller's location, as the :mod:`warnings`
@@ -32,7 +41,7 @@ def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
     if key in _SEEN:
         return False
     _SEEN.add(key)
-    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    warnings.warn(message, category, stacklevel=stacklevel)
     return True
 
 

@@ -28,6 +28,20 @@ The same machinery generalises to workload sweeps: :func:`parallel_map`
 shards any picklable job list across workers with the same deterministic
 per-shard seeding — it is how :class:`repro.sweep.engine.SweepRunner` shards
 a grid's missing points across processes (``--sweep-workers``).
+
+Two extensions serve long-running services (:mod:`repro.service`):
+
+* :class:`PersistentPool` keeps one ``multiprocessing`` pool warm across
+  many jobs — the ``repro serve`` daemon schedules every submission's
+  points onto it instead of paying pool startup per job.  ``parallel_map``
+  accepts an existing pool for the same reason.
+* **Graceful nested-pool degrade.**  ``multiprocessing`` workers are
+  daemonic and cannot spawn a nested pool; when a sharded campaign or map
+  is invoked *inside* such a worker it no longer crashes but falls back to
+  running the shard payloads serially in-process (a once-per-process
+  :class:`RuntimeWarning` notes the degrade).  Results are identical by
+  construction: per-shard seeding depends only on ``(base_seed,
+  shard_index)``, never on which process executes the shard.
 """
 
 from __future__ import annotations
@@ -50,10 +64,38 @@ from repro.attacks.campaign import (
 from repro.core.secure import SecurityConfiguration
 from repro.soc.system import SoCConfig
 
-__all__ = ["CampaignRunner", "parallel_map", "shard_seed", "default_worker_count"]
+__all__ = [
+    "CampaignRunner",
+    "PersistentPool",
+    "parallel_map",
+    "shard_seed",
+    "default_worker_count",
+    "in_worker_process",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def in_worker_process() -> bool:
+    """Whether this process is a ``multiprocessing`` (daemonic) pool worker.
+
+    Such workers cannot spawn nested pools; the sharded entry points check
+    this and degrade to serial in-process execution instead of crashing.
+    """
+    return multiprocessing.current_process().daemon
+
+
+def _warn_degraded(key: str, what: str) -> None:
+    from repro._deprecation import warn_once
+
+    warn_once(
+        key,
+        f"{what} invoked inside a worker process cannot spawn a nested pool; "
+        "degrading to serial in-process execution (results are identical — "
+        "per-shard seeding does not depend on the executing process)",
+        category=RuntimeWarning,
+    )
 
 
 def shard_seed(base_seed: int, shard_index: int) -> int:
@@ -81,6 +123,76 @@ def _run_map_shard(payload: Tuple[Callable, int, int, List[Tuple[int, object]]])
     return [(index, fn(item)) for index, item in items]
 
 
+def _run_single_job(payload: Tuple[Callable, int, int, object]):
+    """One seeded job (the :meth:`PersistentPool.submit` unit)."""
+    fn, base_seed, shard_index, item = payload
+    random.seed(shard_seed(base_seed, shard_index))
+    return fn(item)
+
+
+class PersistentPool:
+    """A worker pool that outlives a single map call.
+
+    ``parallel_map`` (and the campaign runner) historically created and tore
+    down a ``multiprocessing.Pool`` per call; a long-running service doing
+    that per submission pays pool startup on every job.  ``PersistentPool``
+    keeps the workers warm: the ``repro serve`` daemon creates one at
+    startup, schedules every submission's points onto it (:meth:`submit`,
+    one asynchronous seeded job at a time, exactly the unit in-flight
+    dedup wants), and :func:`parallel_map` reuses it via its ``pool=``
+    argument.  Seeding is the same deterministic :func:`shard_seed`
+    machinery, so which pool — or which of its workers — runs a job never
+    changes the result.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool = multiprocessing.Pool(processes=n_workers)
+
+    def submit(
+        self,
+        fn: Callable[[T], R],
+        item: T,
+        *,
+        base_seed: int = 0,
+        shard_index: int = 0,
+        callback: Optional[Callable[[R], None]] = None,
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ):
+        """Schedule one seeded job; returns the ``AsyncResult`` handle.
+
+        ``callback`` / ``error_callback`` fire on a pool-internal thread —
+        asyncio callers must trampoline back onto their loop
+        (``loop.call_soon_threadsafe``), which is what the daemon does.
+        """
+        payload = (fn, base_seed, shard_index, item)
+        return self._pool.apply_async(
+            _run_single_job, (payload,), callback=callback, error_callback=error_callback
+        )
+
+    def map_shards(self, payloads: List[tuple]) -> List[list]:
+        """Run prepared ``_run_map_shard`` payloads on the warm workers."""
+        return self._pool.map(_run_map_shard, payloads)
+
+    def close(self) -> None:
+        """Finish outstanding jobs, then release the workers."""
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        """Stop immediately, abandoning in-flight jobs (daemon shutdown)."""
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
 def _deal_round_robin(n_items: int, n_shards: int) -> List[List[int]]:
     shards: List[List[int]] = [[] for _ in range(n_shards)]
     for index in range(n_items):
@@ -93,12 +205,18 @@ def parallel_map(
     items: Sequence[T],
     n_workers: Optional[int] = None,
     base_seed: int = 0,
+    pool: Optional[PersistentPool] = None,
 ) -> List[R]:
     """Apply ``fn`` to every item, sharded across worker processes.
 
     Results come back in input order regardless of scheduling.  ``fn`` and the
     items must be picklable when more than one worker is used; each shard
     seeds :mod:`random` deterministically from ``(base_seed, shard_index)``.
+
+    ``pool`` reuses an existing :class:`PersistentPool` instead of creating
+    a throwaway one.  Invoked inside a daemonic worker process (which cannot
+    spawn children), the sharded path degrades to running the same seeded
+    shard payloads serially — identical results, once-per-process warning.
     """
     items = list(items)
     if not items:
@@ -115,8 +233,14 @@ def parallel_map(
         (fn, base_seed, shard_index, [(i, items[i]) for i in indices])
         for shard_index, indices in enumerate(shards)
     ]
-    with multiprocessing.Pool(processes=len(payloads)) as pool:
-        shard_results = pool.map(_run_map_shard, payloads)
+    if in_worker_process():
+        _warn_degraded("parallel-map-nested-pool", "parallel_map(n_workers > 1)")
+        shard_results = [_run_map_shard(payload) for payload in payloads]
+    elif pool is not None:
+        shard_results = pool.map_shards(payloads)
+    else:
+        with multiprocessing.Pool(processes=len(payloads)) as mp_pool:
+            shard_results = mp_pool.map(_run_map_shard, payloads)
     ordered: List[Tuple[int, R]] = [pair for shard in shard_results for pair in shard]
     ordered.sort(key=lambda pair: pair[0])
     return [result for _, result in ordered]
@@ -380,6 +504,11 @@ class CampaignRunner:
 
         if workers == 1:
             shard_results = [_run_campaign_shard(self._payloads(1)[0])]
+        elif in_worker_process():
+            # A daemon worker running a sharded campaign: same shard
+            # payloads (same seeding), executed serially in this process.
+            _warn_degraded("campaign-runner-nested-pool", "a sharded CampaignRunner")
+            shard_results = [_run_campaign_shard(p) for p in self._payloads(workers)]
         else:
             with multiprocessing.Pool(processes=workers) as pool:
                 shard_results = pool.map(_run_campaign_shard, self._payloads(workers))

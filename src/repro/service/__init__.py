@@ -1,0 +1,26 @@
+"""Experiment service: the ``repro serve`` daemon and its client.
+
+The service layer turns the sweep fabric into a long-running process:
+:class:`ReproDaemon` fronts one shared
+:class:`~repro.sweep.store.ResultStore` and a warm worker pool behind a
+JSON-lines protocol (unix socket + optional local HTTP), deduplicating
+concurrent submissions both against the store (``cached``) and against
+work still in flight (``coalesced``).  :class:`ServiceClient` is the
+synchronous stdlib-only counterpart the CLI and tests use.  See
+:mod:`repro.service.protocol` for the wire format and ``docs/service.md``
+for the full contract.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, wait_for_socket
+from repro.service.daemon import Job, ReproDaemon
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = [
+    "ReproDaemon",
+    "Job",
+    "ServiceClient",
+    "ServiceError",
+    "wait_for_socket",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+]

@@ -1,0 +1,140 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over the daemon's unix domain socket.  It is
+deliberately synchronous and stdlib-only: the CLI, tests and ad-hoc scripts
+call it without touching asyncio.  One request per connection — exactly the
+shape the daemon serves — so a client instance is cheap and carries no open
+socket between calls.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "wait_for_socket"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon refused a request (its ``error`` string is the message)."""
+
+
+class ServiceClient:
+    """Talk to a running daemon at ``socket_path``.
+
+    ``timeout`` bounds each blocking socket operation — one read of one
+    line, not a whole submission: a watched sweep may stream for longer
+    than the timeout as long as events keep arriving.
+    """
+
+    def __init__(self, socket_path: os.PathLike, *, timeout: float = 120.0) -> None:
+        self.socket_path = os.fspath(socket_path)
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response line (``ServiceError`` on refusal)."""
+        with self._connect() as sock:
+            sock.sendall(protocol.encode_line(payload))
+            with sock.makefile("rb") as stream:
+                return self._response(stream.readline())
+
+    @staticmethod
+    def _response(raw: bytes) -> Dict[str, Any]:
+        if not raw:
+            raise ServiceError("daemon closed the connection without replying")
+        reply = protocol.decode_line(raw)
+        if not reply.get("ok", False):
+            raise ServiceError(reply.get("error", "daemon refused the request"))
+        return reply
+
+    # -- operations ----------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def submit(
+        self,
+        *,
+        sweep: Optional[Dict[str, Any]] = None,
+        experiment: Optional[Dict[str, Any]] = None,
+        wait: bool = True,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a sweep or experiment (exactly one of the two).
+
+        With ``wait`` (the default) the call blocks until the job finishes
+        and returns ``{"job_id", "accepted", "events", "job"}`` — ``job``
+        is the daemon's final record (state, per-point statuses, counts,
+        store digest) and ``events`` every streamed progress line, each of
+        which was also passed to ``on_event`` as it arrived.  With
+        ``wait=False`` it returns as soon as the daemon accepted the job.
+        """
+        request: Dict[str, Any] = {"op": "submit", "wait": wait}
+        if sweep is not None:
+            request["sweep"] = sweep
+        if experiment is not None:
+            request["experiment"] = experiment
+        with self._connect() as sock:
+            sock.sendall(protocol.encode_line(request))
+            with sock.makefile("rb") as stream:
+                accepted = self._response(stream.readline())
+                if not wait:
+                    return accepted
+                events: List[Dict[str, Any]] = []
+                while True:
+                    raw = stream.readline()
+                    if not raw:
+                        raise ServiceError(
+                            "daemon connection dropped before the job finished"
+                        )
+                    payload = protocol.decode_line(raw)
+                    if payload.get("done"):
+                        return {
+                            "job_id": accepted["job_id"],
+                            "accepted": accepted["accepted"],
+                            "events": events,
+                            "job": payload["job"],
+                        }
+                    events.append(payload)
+                    if on_event is not None:
+                        on_event(payload)
+
+
+def wait_for_socket(socket_path: os.PathLike, *, timeout: float = 15.0) -> None:
+    """Block until a daemon answers ``ping`` at ``socket_path``.
+
+    Polls (the daemon creates its socket asynchronously at startup) and
+    raises ``TimeoutError`` when the deadline passes — the error any test
+    or script wants instead of a raw ``ConnectionRefusedError`` race.
+    """
+    client = ServiceClient(socket_path, timeout=min(timeout, 5.0))
+    deadline = time.monotonic() + timeout
+    while True:
+        if os.path.exists(client.socket_path):
+            try:
+                client.ping()
+                return
+            except (OSError, ServiceError):
+                pass
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"no daemon answering at {client.socket_path}")
+        time.sleep(0.05)

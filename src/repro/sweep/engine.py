@@ -25,12 +25,19 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.experiment import Experiment
+from repro.attacks import runner as _runner
 from repro.attacks.runner import parallel_map
 from repro.scenarios.spec import ScenarioSpec
 from repro.sweep.spec import SweepPoint, SweepSpec, point_key
 from repro.sweep.store import ResultStore, code_fingerprint, engine_fingerprint
 
-__all__ = ["SweepRunner", "SweepReport"]
+__all__ = ["SweepRunner", "SweepReport", "SweepJob"]
+
+#: One store-missing grid cell ready to execute: ``(point, resolved scenario
+#: spec, store key)``.  :meth:`SweepRunner.classify` returns these; the
+#: ``repro serve`` daemon schedules them onto its persistent pool (with
+#: in-flight dedup on the key) instead of calling :meth:`SweepRunner.run`.
+SweepJob = Tuple[SweepPoint, ScenarioSpec, str]
 
 
 def _execute_point(job: Tuple[SweepPoint, ScenarioSpec]) -> Dict[str, object]:
@@ -101,7 +108,9 @@ class SweepRunner:
     sweep_workers:
         ``1`` (default) runs points serially in-process; ``>1`` shards the
         missing points across processes (every point's ``campaign_workers``
-        must then be 1).
+        must then be 1).  Inside a daemonic worker process the sharded path
+        degrades to serial execution with a once-per-process warning
+        instead of crashing on the nested-pool limitation.
     point_hook:
         Called with each :class:`SweepPoint` immediately before it executes;
         exceptions propagate after everything already computed was stored —
@@ -129,7 +138,15 @@ class SweepRunner:
         self.sweep_workers = sweep_workers
         self.point_hook = point_hook
 
-    def run(self) -> SweepReport:
+    def classify(self) -> Tuple[SweepReport, List[SweepJob]]:
+        """Expand the grid and split it against the store, without executing.
+
+        Returns the report skeleton (cached/skipped points and every point's
+        store key already filled in) plus the missing points as
+        :data:`SweepJob`\\ s.  :meth:`run` executes the jobs here; the
+        service daemon instead schedules them itself so it can dedupe
+        in-flight keys across concurrent submissions.
+        """
         plan = self.spec.plan(self.resolver)
         report = SweepReport(
             sweep_hash=self.spec.sweep_hash(),
@@ -137,7 +154,7 @@ class SweepRunner:
             skipped=[dict(s) for s in plan.skipped],
         )
 
-        jobs: List[Tuple[SweepPoint, ScenarioSpec, str]] = []
+        jobs: List[SweepJob] = []
         for point in plan.points:
             resolved = point.resolve_spec(plan.bases[point.scenario])
             key = point_key(
@@ -153,7 +170,10 @@ class SweepRunner:
                 report.cached.append(point.point_id)
             else:
                 jobs.append((point, resolved, key))
+        return report, jobs
 
+    def run(self) -> SweepReport:
+        report, jobs = self.classify()
         try:
             if self.sweep_workers > 1:
                 self._run_sharded(jobs, report)
@@ -178,6 +198,22 @@ class SweepRunner:
             report.computed.append(point.point_id)
 
     def _run_sharded(self, jobs, report: SweepReport) -> None:
+        if _runner.in_worker_process():
+            # Invoked from inside a daemonic pool worker (a daemon worker
+            # running a sharded campaign, a nested sweep in a test harness):
+            # spawning a nested pool would crash, so degrade to the serial
+            # per-point path — identical results, per-point durability.
+            from repro._deprecation import warn_once
+
+            warn_once(
+                "sweep-runner-nested-pool",
+                "SweepRunner(sweep_workers > 1) invoked inside a worker "
+                "process cannot spawn a nested pool; degrading to serial "
+                "per-point execution (results are identical)",
+                category=RuntimeWarning,
+            )
+            self._run_serial(jobs, report)
+            return
         offenders = [p.point_id for p, _, _ in jobs if p.campaign_workers > 1]
         if offenders:
             raise ValueError(

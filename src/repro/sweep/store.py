@@ -20,6 +20,19 @@ canonicalizes entries by zeroing the only nondeterministic fields an
 :class:`~repro.api.experiment.ExperimentResult` carries (campaign wall-clock
 timings), so two stores with the same digest hold the same results.
 
+The store is safe under **concurrent writers** (the ``repro serve`` daemon,
+parallel sweeps on a shared disk, a client hammering the daemon's store
+directly): every mutating operation — :meth:`ResultStore.put`,
+:meth:`ResultStore.flush_manifest` and ``gc(apply=True)`` — holds an
+``fcntl`` advisory lock on ``store/.lock`` and *re-reads lines appended by
+other writers since the last load* before touching the file, so appends
+never interleave mid-line, sequence numbers stay unique, and the atomic
+manifest/gc rewrites can never drop a result a concurrent process just
+stored.  Readers need no lock: appends are newline-terminated under the
+lock, so a reader sees at worst a partial trailing line (ignored, re-read
+on the next reload).  On platforms without ``fcntl`` the store degrades to
+the historical single-writer behaviour.
+
 Keys come from :func:`repro.sweep.spec.point_key` and embed the **code
 fingerprint** — a hash over every ``*.py`` file of the installed ``repro``
 package except ``repro/engine/``, which is hashed separately as the
@@ -32,6 +45,7 @@ until ``repro sweep gc --keep-latest N`` rewrites the store.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import functools
 import hashlib
@@ -39,7 +53,12 @@ import json
 import os
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully without
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "ResultStore",
@@ -143,12 +162,18 @@ class ResultStore:
 
     RESULTS_NAME = "results.jsonl"
     MANIFEST_NAME = "manifest.json"
+    LOCK_NAME = ".lock"
     MANIFEST_VERSION = 1
 
     def __init__(self, root) -> None:
         self.root = pathlib.Path(root)
         self._entries: Dict[str, Dict[str, object]] = {}
         self._next_seq = 0
+        self._lock_depth = 0
+        #: Bytes of ``results.jsonl`` this handle has consumed (up to and
+        #: including the last *complete* line); a reload under the writer
+        #: lock resumes from here to pick up other writers' appends.
+        self._tail_offset = 0
         self._load()
 
     # -- paths ---------------------------------------------------------------------
@@ -161,27 +186,104 @@ class ResultStore:
     def manifest_path(self) -> pathlib.Path:
         return self.root / self.MANIFEST_NAME
 
+    @property
+    def lock_path(self) -> pathlib.Path:
+        return self.root / self.LOCK_NAME
+
+    # -- locking -------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the store's advisory writer lock (no-op without ``fcntl``).
+
+        Mutators (:meth:`put`, :meth:`flush_manifest`, applied :meth:`gc`)
+        serialize on a dedicated ``.lock`` file rather than on
+        ``results.jsonl`` itself: gc atomically replaces the results file, and
+        a lock held on the replaced inode would no longer exclude anybody.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        if self._lock_depth:
+            # Reentrant within one handle (gc flushes the manifest while
+            # holding the lock); two fds of one process would self-deadlock.
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.lock_path.open("a+") as lock_handle:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+            self._lock_depth = 1
+            try:
+                yield
+            finally:
+                self._lock_depth = 0
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+
     # -- loading -------------------------------------------------------------------
+
+    def _consume_line(self, raw: bytes) -> None:
+        """Index one complete ``results.jsonl`` line (malformed lines skip)."""
+        line = raw.strip()
+        if not line:
+            return
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A writer killed mid-write leaves at most one partial trailing
+            # line; the point it was storing simply reruns.
+            return
+        if isinstance(entry, dict) and "key" in entry:
+            self._entries[entry["key"]] = entry
+
+    def _read_from(self, offset: int) -> None:
+        """Consume complete lines from ``offset``; advance ``_tail_offset``.
+
+        Reads in binary so the offset is an exact byte position; a partial
+        trailing line (no newline yet — a concurrent writer mid-append, or a
+        dead writer's torn line) is left unconsumed and re-read next time.
+        """
+        with self.results_path.open("rb") as handle:
+            handle.seek(offset)
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break
+                offset += len(raw)
+                self._consume_line(raw)
+        self._tail_offset = offset
 
     def _load(self) -> None:
         """Read-only: a missing or mistyped path creates nothing on disk."""
         if self.results_path.exists():
-            with self.results_path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError:
-                        # A sweep killed mid-write leaves at most one partial
-                        # trailing line; the point it was storing simply reruns.
-                        continue
-                    if isinstance(entry, dict) and "key" in entry:
-                        self._entries[entry["key"]] = entry
-        self._next_seq = (
-            max((int(e.get("seq", -1)) for e in self._entries.values()), default=-1) + 1
+            self._read_from(0)
+        self._bump_next_seq()
+
+    def _bump_next_seq(self) -> None:
+        self._next_seq = max(
+            self._next_seq,
+            max((int(e.get("seq", -1)) for e in self._entries.values()), default=-1) + 1,
         )
+
+    def reload(self) -> None:
+        """Pick up lines other writers appended since this handle last read.
+
+        Called automatically (under the lock) by every mutator; also public
+        so long-lived readers — the daemon's status endpoint, a dashboard —
+        can refresh without reopening the store.
+        """
+        if self.results_path.exists():
+            if self.results_path.stat().st_size < self._tail_offset:
+                # The file shrank: another process ran gc(apply=True) and
+                # atomically rewrote it.  Rebuild from scratch rather than
+                # reading from a now-meaningless byte offset.
+                self._entries.clear()
+                self._read_from(0)
+            else:
+                self._read_from(self._tail_offset)
+        self._bump_next_seq()
 
     def _manifest_text(self) -> str:
         manifest = {
@@ -199,13 +301,20 @@ class ResultStore:
         return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
 
     def flush_manifest(self) -> None:
-        """Rewrite the derived index (once per sweep, not once per put)."""
-        text = self._manifest_text()
-        if self.manifest_path.exists():
-            if self.manifest_path.read_text(encoding="utf-8") == text:
-                return
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.manifest_path.write_text(text, encoding="utf-8")
+        """Rewrite the derived index (once per sweep, not once per put).
+
+        Holds the writer lock and reloads first, so the manifest written
+        always indexes every result any concurrent writer has stored — the
+        rewrite can never "lose" an append it raced with.
+        """
+        with self._locked():
+            self.reload()
+            text = self._manifest_text()
+            if self.manifest_path.exists():
+                if self.manifest_path.read_text(encoding="utf-8") == text:
+                    return
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.manifest_path.write_text(text, encoding="utf-8")
 
     # -- core API ------------------------------------------------------------------
 
@@ -230,21 +339,39 @@ class ResultStore:
         fingerprint: str,
         result: Dict[str, object],
     ) -> None:
-        """Append one result line (durable per call; manifest flushed later)."""
-        entry = {
-            "key": key,
-            "point_id": point_id,
-            "scenario": scenario,
-            "fingerprint": fingerprint,
-            "seq": self._next_seq,
-            "result": result,
-        }
-        self._next_seq += 1
-        self.root.mkdir(parents=True, exist_ok=True)
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
-        self._entries[key] = entry
+        """Append one result line (durable per call; manifest flushed later).
+
+        Cross-process safe: the append happens under the advisory writer
+        lock, after re-reading anything other writers stored since this
+        handle last looked — so concurrent ``put`` calls never interleave
+        mid-line and sequence numbers stay unique.  Per-key semantics stay
+        last-write-wins; keys are content-addressed, so two writers racing
+        on one key are storing the same canonical result anyway.
+        """
+        with self._locked():
+            self.reload()
+            entry = {
+                "key": key,
+                "point_id": point_id,
+                "scenario": scenario,
+                "fingerprint": fingerprint,
+                "seq": self._next_seq,
+                "result": result,
+            }
+            self._next_seq += 1
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.results_path.open("ab") as handle:
+                payload = b""
+                if self._tail_offset < handle.seek(0, os.SEEK_END):
+                    # A dead writer left a torn, never-terminated line (the
+                    # unconsumed tail).  Terminate it so our entry starts on
+                    # a fresh line instead of corrupting both.
+                    payload = b"\n"
+                payload += json.dumps(entry, sort_keys=True).encode("utf-8") + b"\n"
+                handle.write(payload)
+                handle.flush()
+                self._tail_offset = handle.tell()
+            self._entries[key] = entry
 
     def digest(self) -> str:
         """Content digest over canonicalized entries (order-independent)."""
@@ -268,10 +395,20 @@ class ResultStore:
 
         Fingerprint recency is the highest write sequence any of its entries
         carries.  The default is a dry run: nothing is touched until
-        ``apply=True`` (the CLI's ``--apply``).
+        ``apply=True`` (the CLI's ``--apply``); the applied rewrite holds
+        the writer lock and reloads first, so an append racing the gc is
+        either kept (current fingerprint) or consciously dropped (old
+        fingerprint) — never lost by the atomic rewrite.
         """
         if keep_latest < 1:
             raise ValueError("keep_latest must be >= 1")
+        if apply:
+            with self._locked():
+                self.reload()
+                return self._gc_inner(keep_latest, apply=True)
+        return self._gc_inner(keep_latest, apply=False)
+
+    def _gc_inner(self, keep_latest: int, apply: bool) -> GcReport:
         latest_seq: Dict[str, int] = {}
         for entry in self._entries.values():
             fingerprint = str(entry.get("fingerprint"))
@@ -305,5 +442,6 @@ class ResultStore:
             for entry in self.entries():
                 handle.write(json.dumps(entry, sort_keys=True) + "\n")
         os.replace(tmp_path, self.results_path)
+        self._tail_offset = self.results_path.stat().st_size
         self.flush_manifest()
         return report

@@ -77,6 +77,48 @@ class TestJsonlRoundTrip:
             assert isinstance(event["source"], str)
             assert isinstance(event["data"], dict)
 
+    def test_path_sink_is_durable_without_close(self, tmp_path):
+        """A killed run must leave a trace complete up to its last event —
+        path-opened sinks flush per line, so lines land without close()."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        Experiment.from_scenario("minimal_1x1").with_sink(sink).no_attacks().run()
+        # Deliberately no sink.close(): simulates a crashed/killed process.
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.events_written > 0
+        for line in lines:
+            json.loads(line)  # no truncated trailing line either
+        sink.close()
+
+    def test_append_mode_does_not_truncate_prior_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlTraceSink(str(path))
+        Experiment.from_scenario("minimal_1x1").with_sink(first).no_attacks().run()
+        first.close()
+        before = path.read_text().splitlines()
+
+        reopened = JsonlTraceSink(str(path), append=True)
+        Experiment.from_scenario("minimal_1x1").with_sink(reopened).no_attacks().run()
+        reopened.close()
+        after = path.read_text().splitlines()
+        assert after[: len(before)] == before
+        assert len(after) == len(before) + reopened.events_written
+
+    def test_stream_sink_line_flush_opt_in(self):
+        import io
+
+        class CountingFlush(io.StringIO):
+            flushes = 0
+
+            def flush(self):
+                type(self).flushes += 1
+                return super().flush()
+
+        stream = CountingFlush()
+        sink = JsonlTraceSink(stream, line_flush=True)
+        Experiment.from_scenario("minimal_1x1").with_sink(sink).no_attacks().run()
+        assert CountingFlush.flushes >= sink.events_written > 0
+
     def test_trace_to_existing_stream(self):
         import io
 

@@ -7,6 +7,8 @@ order, with the protected-monitor summaries merged deterministically.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.attacks import (
     AttackCampaign,
     CampaignRunner,
@@ -215,6 +217,59 @@ class TestShardingHelpers:
         assert parallel_map(_square, items, n_workers=4) == [i * i for i in items]
         assert parallel_map(_square, items, n_workers=1) == [i * i for i in items]
         assert parallel_map(_square, []) == []
+
+    def test_parallel_map_reuses_a_persistent_pool(self):
+        from repro.attacks.runner import PersistentPool
+
+        items = list(range(17))
+        with PersistentPool(3) as pool:
+            first = parallel_map(_square, items, n_workers=3, pool=pool)
+            second = parallel_map(_square, items, n_workers=3, pool=pool)
+        assert first == second == [i * i for i in items]
+
+    def test_persistent_pool_submit_is_seeded_and_async(self):
+        from repro.attacks.runner import PersistentPool
+
+        with PersistentPool(2) as pool:
+            handles = [pool.submit(_square, i) for i in range(6)]
+            assert [h.get(timeout=60) for h in handles] == [i * i for i in range(6)]
+
+    def test_persistent_pool_rejects_zero_workers(self):
+        from repro.attacks.runner import PersistentPool
+
+        with pytest.raises(ValueError):
+            PersistentPool(0)
+
+    def test_parallel_map_degrades_serially_inside_a_worker(self, monkeypatch):
+        import warnings
+
+        from repro import _deprecation
+        from repro.attacks import runner as attacks_runner
+
+        items = list(range(9))
+        reference = parallel_map(_square, items, n_workers=3)
+        monkeypatch.setattr(attacks_runner, "in_worker_process", lambda: True)
+        _deprecation.reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = parallel_map(_square, items, n_workers=3)
+        assert degraded == reference
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        _deprecation.reset()
+
+    def test_campaign_degrades_serially_inside_a_worker(self, monkeypatch):
+        from repro import _deprecation
+        from repro.attacks import runner as attacks_runner
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("minimal_1x1")
+        reference = CampaignRunner.from_spec(spec, n_workers=1).run()
+        monkeypatch.setattr(attacks_runner, "in_worker_process", lambda: True)
+        _deprecation.reset()
+        degraded = CampaignRunner.from_spec(spec, n_workers=2).run()
+        assert degraded.as_table_rows() == reference.as_table_rows()
+        assert degraded.monitor_totals == reference.monitor_totals
+        _deprecation.reset()
 
 
 def _square(x: int) -> int:

@@ -141,6 +141,35 @@ class TestSharding:
         with pytest.raises(ValueError, match="campaign_workers"):
             runner.run()
 
+    def test_worker_process_degrades_to_serial_with_one_warning(
+        self, tmp_path, monkeypatch
+    ):
+        """Inside a daemonic pool worker a sharded sweep must not crash the
+        job — it degrades to serial per-point execution, warning once."""
+        import warnings
+
+        from repro import _deprecation
+        from repro.attacks import runner as attacks_runner
+
+        monkeypatch.setattr(attacks_runner, "in_worker_process", lambda: True)
+        _deprecation.reset()
+
+        reference = ResultStore(tmp_path / "reference")
+        SweepRunner(GRID, reference).run()
+
+        store = ResultStore(tmp_path / "store")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = SweepRunner(GRID, store, sweep_workers=2).run()
+            SweepRunner(GRID, ResultStore(tmp_path / "again"),
+                        sweep_workers=2).run()
+        degrade = [w for w in caught if issubclass(w.category, RuntimeWarning)
+                   and "nested pool" in str(w.message)]
+        assert len(degrade) == 1  # once per process, not once per sweep
+        assert len(report.computed) == 2
+        assert store.digest() == reference.digest()
+        _deprecation.reset()
+
     def test_invalid_sweep_workers_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="sweep_workers"):
             SweepRunner(GRID, ResultStore(tmp_path / "store"), sweep_workers=0)

@@ -1,8 +1,10 @@
-"""ResultStore durability: resume tolerance, digests, garbage collection."""
+"""ResultStore durability: resume tolerance, digests, garbage collection,
+and safety under concurrent writer processes."""
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -79,7 +81,7 @@ class TestCoreApi:
         store.put("k2", "p2", "fake", "fp-new", _result())
         store.gc(keep_latest=1, apply=True)
         assert sorted(p.name for p in (tmp_path / "store").iterdir()) == [
-            "manifest.json", "results.jsonl",
+            ".lock", "manifest.json", "results.jsonl",
         ]
 
 
@@ -103,6 +105,99 @@ class TestDigest:
         canonical = canonical_result(original)
         assert original["campaign"]["metrics"]["wall_seconds"] == 3.3
         assert "wall_seconds" not in canonical["campaign"]["metrics"]
+
+
+def _hammer_store(path: str, writer: int, n_entries: int) -> None:
+    """Worker process: append this writer's share of entries to one store."""
+    store = ResultStore(path)
+    for i in range(n_entries):
+        store.put(f"w{writer}-k{i}", f"w{writer}-p{i}", "fake", "fp",
+                  _result(cycles=writer * 1000 + i))
+
+
+class TestConcurrentWriters:
+    """The PR-7 bugfix: the store is safe under concurrent processes."""
+
+    def test_n_processes_hammering_one_store_match_a_serial_run(self, tmp_path):
+        n_writers, n_entries = 4, 8
+        shared = tmp_path / "shared"
+        workers = [
+            multiprocessing.Process(
+                target=_hammer_store, args=(str(shared), w, n_entries)
+            )
+            for w in range(n_writers)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+            assert worker.exitcode == 0
+
+        serial = ResultStore(tmp_path / "serial")
+        for w in range(n_writers):
+            _hammer_store(str(tmp_path / "serial"), w, n_entries)
+
+        reloaded = ResultStore(shared)
+        assert len(reloaded) == n_writers * n_entries
+        assert reloaded.digest() == ResultStore(tmp_path / "serial").digest()
+        # No interleaved/torn lines: every line parses and seqs are unique.
+        seqs = [e["seq"] for e in reloaded.entries()]
+        assert sorted(seqs) == list(range(n_writers * n_entries))
+        del serial
+
+    def test_put_sees_lines_appended_by_another_handle(self, tmp_path):
+        a = ResultStore(tmp_path / "store")
+        b = ResultStore(tmp_path / "store")  # second handle, same directory
+        a.put("k-a", "p-a", "fake", "fp", _result())
+        b.put("k-b", "p-b", "fake", "fp", _result())
+        # b reloaded before appending: it saw a's entry and chained the seq.
+        assert b.has("k-a")
+        assert b.get("k-b")["seq"] == 1
+        reopened = ResultStore(tmp_path / "store")
+        assert len(reopened) == 2
+
+    def test_flush_manifest_never_drops_a_concurrent_append(self, tmp_path):
+        a = ResultStore(tmp_path / "store")
+        b = ResultStore(tmp_path / "store")
+        a.put("k-a", "p-a", "fake", "fp", _result())
+        b.put("k-b", "p-b", "fake", "fp", _result())
+        # The stale handle flushes: the manifest must still index both.
+        a.flush_manifest()
+        manifest = json.loads(a.manifest_path.read_text())
+        assert set(manifest["entries"]) == {"k-a", "k-b"}
+
+    def test_gc_apply_never_loses_a_concurrent_append(self, tmp_path):
+        a = ResultStore(tmp_path / "store")
+        a.put("k-old", "p-old", "fake", "fp-old", _result())
+        a.put("k-new", "p-new", "fake", "fp-new", _result())
+        # Another process appends with the current fingerprint while the
+        # first handle is about to gc: the rewrite must keep that entry.
+        b = ResultStore(tmp_path / "store")
+        b.put("k-racer", "p-racer", "fake", "fp-new", _result())
+        report = a.gc(keep_latest=1, apply=True)
+        assert report.applied
+        survivors = set(json.loads(a.manifest_path.read_text())["entries"])
+        assert survivors == {"k-new", "k-racer"}
+
+    def test_put_terminates_a_dead_writers_torn_line(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put("k1", "p1", "fake", "fp", _result())
+        with store.results_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "k-torn", "result": {"trunc')  # killed mid-write
+        late = ResultStore(tmp_path / "store")
+        late.put("k2", "p2", "fake", "fp", _result())
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.has("k1") and reopened.has("k2")
+        assert not reopened.has("k-torn")
+
+    def test_reload_follows_a_gc_shrunken_file(self, tmp_path):
+        a = ResultStore(tmp_path / "store")
+        a.put("k-old", "p-old", "fake", "fp-old", _result())
+        a.put("k-new", "p-new", "fake", "fp-new", _result())
+        b = ResultStore(tmp_path / "store")  # long-lived reader
+        a.gc(keep_latest=1, apply=True)
+        b.reload()
+        assert b.has("k-new") and not b.has("k-old")
 
 
 class TestGc:
