@@ -32,6 +32,7 @@ __all__ = [
     "ProcessorBatch",
     "build_batch",
     "decode_prepass",
+    "fabric_route_prepass",
     "make_transaction",
 ]
 
@@ -190,6 +191,71 @@ def decode_prepass(
             else:
                 table[shape] = region.slave
     return table
+
+
+def fabric_route_prepass(
+    fabric,
+    streams: Dict[str, set],
+) -> Dict[str, Dict[Tuple[int, int], Optional[str]]]:
+    """Resolve every unique shape of a fabric workload to its per-hop targets.
+
+    ``streams`` maps each home segment name to the set of ``(address, size)``
+    shapes issued there.  Each shape is first resolved through
+    :meth:`~repro.soc.fabric.routing.FabricRouter.resolve_many` (one batched
+    control-plane query per stream — an unroutable shape terminates with a
+    decode error on its home segment, exactly as the object path would), then
+    walked hop by hop through the *datapath* mechanism itself: each segment's
+    own address map decodes the shape to either a local slave or the proxy
+    region of the next-hop bridge.  Walking the maps rather than trusting
+    ``Route.bridges`` keeps the prepass exact even when BFS tie-breaking and
+    per-segment proxy installation could disagree on equal-length paths.
+
+    Returns ``{segment name: {shape: slave name}}`` where the slave name is
+    that segment's decode result (``"bridge:<name>"`` for a hop, the device's
+    slave name at the final segment, ``None`` for a decode error).
+    """
+    per_segment: Dict[str, Dict[Tuple[int, int], Optional[str]]] = {
+        name: {} for name in fabric.segments
+    }
+    segments = fabric.segments
+    bridges = fabric.bridges
+    max_hops = len(segments)
+    for home, shapes in streams.items():
+        routes = fabric.router.resolve_many(home, sorted(shapes))
+        for shape, route in routes.items():
+            if route is None:
+                # Globally unmapped (or unroutable): the home segment's own
+                # decode fails identically — proxy regions mirror the exact
+                # geometry of the regions they forward to.
+                per_segment[home].setdefault(shape, None)
+                continue
+            seg_name = home
+            for _ in range(max_hops + 1):
+                seg_map = per_segment[seg_name]
+                slave = seg_map.get(shape, _UNRESOLVED)
+                if slave is _UNRESOLVED:
+                    seg = segments[seg_name]
+                    try:
+                        region = seg.address_map.decode(shape[0], shape[1])
+                    except DecodeError:
+                        seg_map[shape] = None
+                        break
+                    slave = region.slave
+                    if slave not in seg._slave_ports:
+                        # Mapped but unconnected: the segment reports a decode
+                        # error (BusSegment._try_grant's second error branch).
+                        seg_map[shape] = None
+                        break
+                    seg_map[shape] = slave
+                if slave is None or not slave.startswith("bridge:"):
+                    break
+                seg_name = bridges[slave[7:]].other_segment(seg_name).name
+            else:  # pragma: no cover - routing is loop-free by construction
+                raise BatchError(f"route walk for shape {shape} did not terminate")
+    return per_segment
+
+
+_UNRESOLVED = object()
 
 
 def make_transaction(

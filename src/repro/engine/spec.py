@@ -63,7 +63,9 @@ class EngineReport:
     quantify how much of the stream the vector engine served from its
     per-batch lookup tables (``replayed``) versus real firewall-chain calls
     (``real_calls`` — warm-up, alert-raising, ciphering and post-
-    reconfiguration traffic).
+    reconfiguration traffic).  ``extra`` carries engine-specific detail;
+    fabric runs record ``extra["fabric"] = {"segments": n, "bridges": n}``
+    for the topology the mirrored drain covered.
     """
 
     requested: str

@@ -99,6 +99,9 @@ class BusBridge(Component):
         #: ``("posted", clone, target)`` or ``("ordered", txn, reply, target)``.
         self._buffer: Deque[Tuple] = deque()
         self._draining = False
+        #: Posted entries currently buffered or in flight (tracked as a
+        #: counter so ingress admission is O(1) instead of a buffer scan).
+        self._posted_pending = 0
 
     # -- wiring ------------------------------------------------------------------
 
@@ -154,14 +157,14 @@ class BusBridge(Component):
         txn.add_latency(f"bridge:{self.name}", self.forward_latency)
         target = self._target_segment(side)
 
-        posted_pending = sum(1 for entry in self._buffer if entry[0] == "posted")
-        if txn.is_write and self.posted_writes and posted_pending < self.buffer_depth:
+        if txn.is_write and self.posted_writes and self._posted_pending < self.buffer_depth:
             # Posted write: acknowledge the issuer as soon as the write is
             # buffered; the downstream leg runs detached on a clone (the
             # original transaction completes at the issuing master while the
             # clone is still in flight).
             self.bump("posted_writes")
             self._buffer.append(("posted", txn.clone_for_retry(), target))
+            self._posted_pending += 1
             self.sim.schedule(verdict.latency + self.forward_latency, reply, txn)
             self._drain()
             return
@@ -241,6 +244,7 @@ class BusBridge(Component):
 
     def _drain_done_posted(self, clone: BusTransaction) -> None:
         self._buffer.popleft()
+        self._posted_pending -= 1
         self._draining = False
         self.bump("posted_completed")
         if clone.status.is_terminal and clone.status is not TransactionStatus.COMPLETED:

@@ -12,6 +12,13 @@ segment S to address A cross?" — for the metrics layer and for tests.
 Resolved routes are memoised in a bounded LRU keyed by
 ``(segment, address, size)``, mirroring the decode cache of
 :class:`~repro.soc.address_map.AddressMap`.
+
+The vector engine's fabric prepass
+(:func:`repro.engine.batch.fabric_route_prepass`) uses :meth:`FabricRouter.
+resolve_many` as its batched census — one control-plane query per home
+segment decides routability — but derives the actual per-hop targets by
+walking each segment's own address map, exactly like the datapath, so BFS
+tie-breaking can never diverge from the installed proxy regions.
 """
 
 from __future__ import annotations

@@ -21,6 +21,12 @@ the containment property the firewalls must provide).
 to; the flat bus keeps the historical ``"bus"`` so single-segment platforms
 stay byte-identical, while a fabric names each segment's bucket
 ``"bus:<segment>"`` for per-hop latency attribution.
+
+The vector engine (:mod:`repro.engine.vector`) mirrors this class event for
+event — grant ordering, the split-transaction handoff/release pair, the
+synchronous reply-before-rearbitrate sequence, decode-error termination.
+Behavioural changes here must be reflected in the mirror (the differential
+suite catches divergence on every registered scenario).
 """
 
 from __future__ import annotations

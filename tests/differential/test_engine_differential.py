@@ -1,35 +1,34 @@
 """Differential harness for the vectorized batch engine.
 
 The vector engine's contract is *fingerprint identity*: for every registered
-scenario, draining the workload through the batch engine must produce exactly
-the observables the object path produces — same alert stream (cycle, firewall,
-master, violation, address — in order), same event and cycle counts, same
-memory images, same firewall verdict counters, same reaction log.  Scenarios
-the engine cannot mirror (bridged segments, custom ports) must *decline* with
-a recorded reason and leave the object path to run, never approximate.
+scenario — flat segments and bridged-segment fabrics alike — draining the
+workload through the batch engine must produce exactly the observables the
+object path produces: same alert stream (cycle, firewall, master, violation,
+address — in order), same event and cycle counts, same memory images, same
+firewall verdict counters, same bridge containment/posted-failure statistics,
+same reaction log.  Platforms the engine cannot mirror (payload-recording
+sinks, custom ports) must *decline* with a recorded reason and leave the
+object path to run, never approximate.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api.events import EventBus, InMemorySink, StatsSink, attach_instrumentation
 from repro.scenarios import registry
 from repro.scenarios.builder import ScenarioBuilder
 from repro.scenarios.differential import _variant_fingerprint, diff_fingerprints
 
 ALL_SCENARIOS = registry.list_scenarios()
 
-#: Scenarios on a single flat bus segment: the engine must actually engage.
-FLAT_SCENARIOS = {
-    "minimal_1x1",
-    "paper_baseline",
-    "many_master_contention",
-    "sparse_protection",
-    "dense_protection",
-    "reconfiguration_under_load",
-    "attack_heavy",
-    "crypto_heavy",
-    "centralized_baseline_mirror",
+#: Scenarios on a bridged-segment fabric: the engine must engage *and*
+#: report the fabric shape it mirrored.
+FABRIC_SCENARIOS = {
+    "two_segment_dma_isolation",
+    "bridge_firewalled_centralized",
+    "deep_hierarchy_3seg",
+    "cross_segment_attack_storm",
 }
 
 
@@ -54,33 +53,67 @@ def test_vector_engine_is_fingerprint_identical(name, protected):
 
     assert report is not None, "vector runs must leave an engine report"
     assert report.requested == "vector"
-    if name in FLAT_SCENARIOS:
-        assert report.used == "vector", report.fallback_reason
-        assert report.events > 0
-        assert len(report.batches) > 0
+    # Every registered scenario runs natively — no run-level fallbacks left.
+    assert report.used == "vector", report.fallback_reason
+    assert report.fallback_reason is None
+    assert report.events > 0
+    assert len(report.batches) > 0
+    if name in FABRIC_SCENARIOS:
+        fabric = report.extra.get("fabric")
+        assert fabric is not None, "fabric runs must report their shape"
+        assert fabric["segments"] >= 2
+        assert fabric["bridges"] >= 1
     else:
-        # Hierarchical fabrics are outside the mirrored subset: the engine
-        # must decline the whole run with a reason, not approximate it.
-        assert report.used == "object"
-        assert report.fallback_reason
-        assert "hierarchical" in report.fallback_reason
+        assert "fabric" not in report.extra
 
 
 def test_registry_covers_both_fabric_shapes():
     """The identity claim is only meaningful if the registry exercises both
-    the engaged path and the declined path."""
+    flat segments and bridged fabrics through the engaged path."""
     names = set(ALL_SCENARIOS)
-    assert FLAT_SCENARIOS <= names
-    assert names - FLAT_SCENARIOS, "expected at least one hierarchical scenario"
+    assert FABRIC_SCENARIOS <= names
+    assert names - FABRIC_SCENARIOS, "expected at least one flat scenario"
 
 
-def test_auto_mode_falls_back_silently_on_hierarchical_fabrics():
+def test_auto_mode_engages_on_hierarchical_fabrics():
     spec = registry.get_scenario("deep_hierarchy_3seg")
     fp_object, _ = _fingerprint(spec, True, "object")
     fp_auto, report = _fingerprint(spec, True, "auto")
     assert not diff_fingerprints(fp_object, fp_auto)
     assert report is not None and report.requested == "auto"
-    assert report.used == "object" and report.fallback_reason
+    assert report.used == "vector" and report.fallback_reason is None
+
+
+@pytest.mark.parametrize("name", sorted(FABRIC_SCENARIOS) + ["attack_heavy"])
+def test_counting_instrumentation_is_count_identical(name):
+    """A counting-only event bus no longer forces the object path: settled
+    batch counts must equal the object path's per-event emission counts."""
+    spec = registry.get_scenario(name)
+
+    def run(engine):
+        built = ScenarioBuilder(spec).build(True, _warn=False)
+        sink = StatsSink()
+        attach_instrumentation(built.system, built.security, EventBus([sink]))
+        built.run_workload(engine=engine)
+        return sink.counts, built.engine_report
+
+    counts_object, _ = run("object")
+    counts_vector, report = run("vector")
+    assert report.used == "vector", report.fallback_reason
+    assert counts_object == counts_vector
+    assert counts_object.get("txn.issued", 0) > 0
+    assert counts_object.get("sim.run", 0) >= 1
+
+
+def test_payload_sinks_still_fall_back():
+    """Sinks that record full events need the object path's emission order."""
+    spec = registry.get_scenario("two_segment_dma_isolation")
+    built = ScenarioBuilder(spec).build(True, _warn=False)
+    attach_instrumentation(built.system, built.security, EventBus([InMemorySink()]))
+    built.run_workload(engine="vector")
+    report = built.engine_report
+    assert report.used == "object"
+    assert "payload sinks" in report.fallback_reason
 
 
 def test_replay_actually_happens_on_steady_workloads():
@@ -91,3 +124,12 @@ def test_replay_actually_happens_on_steady_workloads():
     assert report.used == "vector"
     assert report.replayed > report.real_calls
     assert report.unique_shapes > 0
+
+
+def test_fabric_replay_engages_on_bridge_chains():
+    """Bridge-placed chains must profile/replay too, not fall back to real
+    calls per transaction."""
+    spec = registry.get_scenario("bridge_firewalled_centralized")
+    _, report = _fingerprint(spec, True, "vector")
+    assert report.used == "vector"
+    assert report.replayed > 0

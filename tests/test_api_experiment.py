@@ -128,7 +128,7 @@ class TestEngineSelection:
         assert vec_engine["used"] == "vector"
         assert vec_engine["replayed"] is not None
 
-    def test_auto_engine_falls_back_on_hierarchical_fabrics(self):
+    def test_auto_engine_engages_on_hierarchical_fabrics(self):
         result = (
             Experiment.from_scenario("deep_hierarchy_3seg")
             .no_attacks()
@@ -137,8 +137,30 @@ class TestEngineSelection:
         )
         engine = result.meta["engine"]
         assert engine["requested"] == "auto"
-        assert engine["used"] == "object"
-        assert "hierarchical" in engine["fallback_reason"]
+        assert engine["used"] == "vector"
+        assert engine["fallback_reason"] is None
+        assert engine["extra"]["fabric"] == {"segments": 3, "bridges": 2}
+
+    def test_render_experiment_surfaces_engine_and_fallback(self):
+        from repro.analysis.report import render_experiment
+
+        result = (
+            Experiment.from_scenario("minimal_1x1")
+            .no_attacks()
+            .with_engine("vector")
+            .run()
+        )
+        payload = result.to_dict()
+        assert "engine     : vector (requested vector)" in render_experiment(payload)
+
+        payload["meta"]["engine"] = {
+            "requested": "vector",
+            "used": "object",
+            "fallback_reason": "instrumentation event bus with payload sinks attached",
+        }
+        rendered = render_experiment(payload)
+        assert "engine     : object (requested vector)" in rendered
+        assert "fell back: instrumentation event bus" in rendered
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="engine"):

@@ -102,6 +102,23 @@ class TestInvalidation:
             pid for pid in warm.computed if pid.endswith("/engine=default")
         )
 
+    def test_engine_cells_record_used_engine_in_stored_meta(self, tmp_path):
+        # Cached sweep results must be auditable: each engine cell's stored
+        # record says what actually ran, fabric scenarios included.
+        grid = SweepSpec(
+            scenarios=("two_segment_dma_isolation",), seeds=(0,),
+            engines=(None, "vector"),
+        )
+        store = ResultStore(tmp_path / "store")
+        report = SweepRunner(grid, store).run()
+        for pid in report.computed:
+            engine = store.get(report.keys[pid])["result"]["meta"]["engine"]
+            assert engine["used"] in ("object", "vector")
+            if pid.endswith("/engine=vector"):
+                assert engine["requested"] == "vector"
+                assert engine["used"] == "vector"
+                assert engine["fallback_reason"] is None
+
 
 class TestSharding:
     def test_sharded_sweep_matches_serial_digest(self, tmp_path):
