@@ -18,6 +18,7 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_experiment",
+    "render_verification",
 ]
 
 
@@ -202,6 +203,80 @@ def render_experiment(result: Dict[str, object]) -> str:
     if events:
         lines.append("")
         lines.append("  events     : " + ", ".join(f"{k}={v}" for k, v in sorted(events.items())))
+    return "\n".join(lines)
+
+
+def _witness_route(witness: Dict[str, object]) -> str:
+    segments = witness.get("route_segments") or []
+    return "->".join(str(s) for s in segments) if segments else "local"
+
+
+def render_verification(payload: Dict[str, object]) -> str:
+    """Human-readable report for one ``repro verify`` JSON payload.
+
+    Takes the serialized dictionary (the same shape ``--json`` prints), so
+    the analysis layer depends only on the verifier's output schema, never
+    on :mod:`repro.staticcheck` itself.
+    """
+    lines: List[str] = []
+    reports = payload.get("reports") or []
+    summary_rows = [
+        [report["scenario"], report["verdict"],
+         report["counts"]["error"], report["counts"]["warning"],
+         report["counts"]["info"], len(report.get("coverage") or [])]
+        for report in reports  # type: ignore[index]
+    ]
+    lines.append(format_table(
+        ["scenario", "verdict", "errors", "warnings", "infos", "coverage"],
+        summary_rows,
+        title="Static policy/fabric verification",
+    ))
+    for report in reports:  # type: ignore[assignment]
+        findings = report.get("findings") or []
+        if not findings:
+            continue
+        lines.append("")
+        lines.append(f"{report['scenario']}:")
+        for finding in findings:
+            lines.append(
+                f"  [{str(finding['severity']).upper():<7}] {finding['code']} "
+                f"{finding['subject']}: {finding['message']}"
+            )
+            witness = finding.get("witness")
+            if witness:
+                lines.append(
+                    f"            witness: {witness['master']} {witness['op']}"
+                    f"[{witness['width']}] {int(witness['address']):#010x} "
+                    f"-> {witness['target']} (route {_witness_route(witness)}, "
+                    f"expect {witness['expectation']})"
+                )
+    confirmations = payload.get("confirmations")
+    if confirmations:
+        lines.append("")
+        rows = []
+        for scenario, results in confirmations.items():  # type: ignore[union-attr]
+            for result in results:
+                witness = result["witness"]
+                rows.append([
+                    scenario,
+                    f"{witness['master']}->{witness['target']}",
+                    witness["expectation"],
+                    result["status"],
+                    result["alerts"],
+                    "yes" if result["confirmed"] else "NO",
+                ])
+        lines.append(format_table(
+            ["scenario", "probe", "expectation", "status", "alerts", "confirmed"],
+            rows,
+            title="Witness confirmation (simulator replay)",
+        ))
+    errors = payload.get("errors", 0)
+    failed = payload.get("failed_confirmations", 0)
+    lines.append("")
+    if errors or failed:
+        lines.append(f"FAIL: {errors} error finding(s), {failed} failed confirmation(s)")
+    else:
+        lines.append(f"ok: {len(reports)} scenario(s), no error findings")
     return "\n".join(lines)
 
 

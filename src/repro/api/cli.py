@@ -18,6 +18,11 @@ Subcommands:
   results from old code fingerprints (dry run unless ``--apply``),
 * ``repro paper [--fast] [--store DIR] [--out DIR]`` — regenerate every
   paper table/figure from the store (see ``docs/reproducing-the-paper.md``),
+* ``repro verify [SCENARIO ...|--all] [--json] [--confirm] [--engine E]`` —
+  static policy/fabric verification: address-map defects, unguarded paths,
+  dead rules and bridge hazards, each with a concrete witness; ``--confirm``
+  replays every witness as a probe attack under the simulator (exit 1 on
+  any ERROR finding or failed confirmation),
 * ``repro catalog [--write PATH] [--check]`` — render the scenario catalog
   markdown page from the registry,
 * ``repro serve [--socket PATH] [--store DIR] [--workers N] [--http PORT]
@@ -204,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     status_cmd.add_argument("--socket", default=DEFAULT_SOCKET_PATH, metavar="PATH",
                             help=f"daemon socket (default: {DEFAULT_SOCKET_PATH})")
     status_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    verify_cmd = sub.add_parser(
+        "verify", help="statically verify scenario policy/fabric coverage"
+    )
+    verify_cmd.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                            help="registered scenario names (default: --all)")
+    verify_cmd.add_argument("--all", action="store_true", dest="all_scenarios",
+                            help="verify every registered scenario")
+    verify_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+    verify_cmd.add_argument("--confirm", action="store_true",
+                            help="replay every witness as a probe attack under "
+                                 "the simulator (differential honesty check)")
+    verify_cmd.add_argument("--engine", default=None,
+                            choices=["object", "vector", "auto"],
+                            help="engine for --confirm warm-up workloads")
 
     catalog_cmd = sub.add_parser(
         "catalog", help="render docs/scenario-catalog.md from the scenario registry"
@@ -496,6 +516,53 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_verification
+    from repro.staticcheck import confirm_report, verify_scenario
+
+    names = list(args.scenarios)
+    if args.all_scenarios or not names:
+        names = list_scenarios()
+    else:
+        known = set(list_scenarios())
+        for name in names:
+            if name not in known:
+                print(f"repro verify: no scenario named {name!r}", file=sys.stderr)
+                return 1
+
+    reports = [verify_scenario(name) for name in names]
+    confirmations = {}
+    if args.confirm:
+        confirmations = {
+            report.scenario: confirm_report(report, engine=args.engine)
+            for report in reports
+        }
+
+    errors = sum(len(report.errors) for report in reports)
+    failed_confirms = sum(
+        1
+        for results in confirmations.values()
+        for result in results
+        if not result.confirmed
+    )
+    payload = {
+        "schema": 1,
+        "errors": errors,
+        "reports": [report.to_dict() for report in reports],
+    }
+    if args.confirm:
+        payload["confirmations"] = {
+            scenario: [result.to_dict() for result in results]
+            for scenario, results in confirmations.items()
+        }
+        payload["failed_confirmations"] = failed_confirms
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_verification(payload))
+    return 1 if (errors or failed_confirms) else 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     rendered = render_catalog()
     if args.check is not False:
@@ -542,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return _cmd_catalog(args)
 
 

@@ -28,7 +28,7 @@ This module is plain data with no intra-package imports, so every layer
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = ["ENGINE_MODES", "EngineSpec", "EngineReport"]
 
@@ -38,7 +38,7 @@ __all__ = ["ENGINE_MODES", "EngineSpec", "EngineReport"]
 #: ``vector`` does the same but records the fallback reason prominently in
 #: the engine report (the result is identical either way — eligibility is a
 #: performance property, never a correctness one).
-ENGINE_MODES = ("object", "vector", "auto")
+ENGINE_MODES: Tuple[str, ...] = ("object", "vector", "auto")
 
 
 @dataclass(frozen=True)
@@ -77,9 +77,9 @@ class EngineReport:
     profiles: int = 0
     replayed: int = 0
     real_calls: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "requested": self.requested,
             "used": self.used,

@@ -209,9 +209,21 @@ class BuiltScenario:
 class ScenarioBuilder:
     """Build :class:`BuiltScenario` instances from a :class:`ScenarioSpec`."""
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(self, spec: ScenarioSpec, *, verify: Optional[bool] = None) -> None:
         spec.validate()
         self.spec = spec
+        # Optional fail-fast gate on ERROR-severity static findings: on by
+        # default iff `repro.staticcheck.gate.set_fail_fast(True)` was
+        # called; `verify=False` opts a construction out (the analyzer uses
+        # this while verifying, so verification can never recurse).
+        if verify is None:
+            from repro.staticcheck.gate import fail_fast_enabled
+
+            verify = fail_fast_enabled()
+        if verify:
+            from repro.staticcheck.gate import enforce
+
+            enforce(spec, where="ScenarioBuilder")
 
     # -- platform construction ----------------------------------------------------------
 

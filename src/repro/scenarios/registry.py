@@ -49,6 +49,9 @@ def register_scenario(factory: Callable[[], ScenarioSpec]) -> Callable[[], Scena
     spec.validate()
     if spec.name in _REGISTRY:
         raise ValueError(f"scenario {spec.name!r} already registered")
+    from repro.staticcheck.gate import enforce
+
+    enforce(spec, where=f"register_scenario({spec.name!r})")
     _REGISTRY[spec.name] = factory
     return factory
 

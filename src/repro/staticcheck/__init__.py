@@ -1,0 +1,47 @@
+"""Static policy/fabric verification (``repro verify``).
+
+Proves coverage properties about a ScenarioSpec + SecurityPlan without
+running a simulated cycle, then confirms every claim dynamically by
+compiling its witness into a probe attack.  See
+:mod:`repro.staticcheck.analyzer` for the finding catalog and
+``docs/static-analysis.md`` for the user-facing walkthrough.
+"""
+
+from repro.staticcheck.analyzer import verify_scenario, verify_spec
+from repro.staticcheck.confirm import (
+    ConfirmationResult,
+    WitnessProbe,
+    confirm_report,
+    confirm_witness,
+)
+from repro.staticcheck.findings import (
+    EXPECTATIONS,
+    SEVERITIES,
+    Finding,
+    VerificationReport,
+    Witness,
+)
+from repro.staticcheck.gate import (
+    StaticCheckError,
+    enforce,
+    fail_fast_enabled,
+    set_fail_fast,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "EXPECTATIONS",
+    "Witness",
+    "Finding",
+    "VerificationReport",
+    "verify_spec",
+    "verify_scenario",
+    "WitnessProbe",
+    "ConfirmationResult",
+    "confirm_witness",
+    "confirm_report",
+    "StaticCheckError",
+    "set_fail_fast",
+    "fail_fast_enabled",
+    "enforce",
+]

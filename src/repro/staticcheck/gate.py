@@ -1,0 +1,76 @@
+"""Optional fail-fast gate on ERROR-severity static findings.
+
+Spec/plan construction sites (the scenario builder, the registry
+decorator, sweep classification) call :func:`enforce` at the moment a spec
+becomes a build.  The gate is **off by default** — enabling it makes every
+construction site raise :class:`StaticCheckError` the instant a spec with
+an unenforceable protection is about to be built, instead of letting the
+defect surface (or worse, not surface) cycles later in a simulation.
+
+The analyzer itself constructs builders while verifying, so everything it
+touches passes ``verify=False`` explicitly; the gate additionally holds a
+re-entrancy latch so a verification pass can never recurse into itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.staticcheck.findings import VerificationReport
+
+__all__ = ["StaticCheckError", "set_fail_fast", "fail_fast_enabled", "enforce"]
+
+
+_FAIL_FAST = False
+_IN_PROGRESS = False
+
+
+class StaticCheckError(ValueError):
+    """A spec failed static verification at a fail-fast construction site."""
+
+    def __init__(self, report: "VerificationReport", where: str) -> None:
+        self.report = report
+        self.where = where
+        errors = report.errors
+        lines = [
+            f"static verification of {report.scenario!r} failed at {where}: "
+            f"{len(errors)} error finding(s)"
+        ]
+        for finding in errors:
+            lines.append(f"  [{finding.code}] {finding.subject}: {finding.message}")
+        super().__init__("\n".join(lines))
+
+
+def set_fail_fast(enabled: bool) -> bool:
+    """Turn the gate on/off globally; returns the previous setting."""
+    global _FAIL_FAST
+    previous = _FAIL_FAST
+    _FAIL_FAST = enabled
+    return previous
+
+
+def fail_fast_enabled() -> bool:
+    return _FAIL_FAST
+
+
+def enforce(spec: "ScenarioSpec", *, where: str = "build") -> Optional["VerificationReport"]:
+    """Verify ``spec`` and raise on ERROR findings when the gate is on.
+
+    Returns the report (None when the gate is off or re-entered) so callers
+    can attach it to their own diagnostics.
+    """
+    global _IN_PROGRESS
+    if not _FAIL_FAST or _IN_PROGRESS:
+        return None
+    from repro.staticcheck.analyzer import verify_spec
+
+    _IN_PROGRESS = True
+    try:
+        report = verify_spec(spec)
+    finally:
+        _IN_PROGRESS = False
+    if report.has_errors:
+        raise StaticCheckError(report, where)
+    return report

@@ -28,6 +28,7 @@ from repro.api.experiment import Experiment
 from repro.attacks import runner as _runner
 from repro.attacks.runner import parallel_map
 from repro.scenarios.spec import ScenarioSpec
+from repro.staticcheck.gate import enforce
 from repro.sweep.spec import SweepPoint, SweepSpec, point_key
 from repro.sweep.store import ResultStore, code_fingerprint, engine_fingerprint
 
@@ -157,6 +158,10 @@ class SweepRunner:
         jobs: List[SweepJob] = []
         for point in plan.points:
             resolved = point.resolve_spec(plan.bases[point.scenario])
+            # Fail-fast static verification (no-op unless the gate is on):
+            # a grid cell whose resolved spec claims an unenforceable
+            # protection dies here, before it burns a store slot.
+            enforce(resolved, where=f"sweep point {point.point_id}")
             key = point_key(
                 point,
                 resolved,

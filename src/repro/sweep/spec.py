@@ -23,7 +23,7 @@ import fnmatch
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.api.experiment import RESULT_SCHEMA_VERSION, _jsonable
 from repro.engine.spec import ENGINE_MODES, EngineSpec
@@ -34,7 +34,7 @@ __all__ = ["SweepSpec", "SweepPoint", "SweepPlan", "point_key", "spec_hash"]
 
 
 #: How a point treats the scenario's attack mix.
-ATTACK_MODES = ("scenario", "none")
+ATTACK_MODES: Tuple[str, ...] = ("scenario", "none")
 
 
 def _canonical_json(value: object) -> str:
@@ -186,7 +186,9 @@ class SweepSpec:
             fnmatch.fnmatch(s, pattern) for pattern in self.exclude for s in subjects
         )
 
-    def plan(self, resolver=None) -> SweepPlan:
+    def plan(
+        self, resolver: Optional[Callable[[str], ScenarioSpec]] = None
+    ) -> SweepPlan:
         """Expand the grid into concrete points.
 
         ``resolver`` maps a scenario name to its base
@@ -199,7 +201,7 @@ class SweepSpec:
         names = self.scenarios or tuple(list_scenarios())
         points: List[SweepPoint] = []
         skipped: List[Dict[str, str]] = []
-        seen_ids = set()
+        seen_ids: Set[str] = set()
         bases: Dict[str, ScenarioSpec] = {}
         for name in names:
             base = bases.setdefault(name, resolver(name))

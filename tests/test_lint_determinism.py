@@ -1,0 +1,133 @@
+"""The determinism AST lint: rule coverage, waivers, and the live tree."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from lint_determinism import DEFAULT_TARGETS, lint_paths, lint_source  # noqa: E402
+
+
+def rules(findings):
+    return [f[2] for f in findings]
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        findings = lint_source("import random\nx = random.random()\n")
+        assert rules(findings) == ["unseeded-random"]
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = lint_source("import random\nrng = random.Random()\n")
+        assert rules(findings) == ["unseeded-random"]
+
+    def test_none_seed_flagged(self):
+        findings = lint_source("import random\nrng = random.Random(None)\n")
+        assert rules(findings) == ["unseeded-random"]
+
+    def test_system_random_flagged(self):
+        findings = lint_source("import random\nrng = random.SystemRandom()\n")
+        assert rules(findings) == ["unseeded-random"]
+
+    def test_seeded_random_allowed(self):
+        assert lint_source("import random\nrng = random.Random(1234)\n") == []
+        assert lint_source("import random\nrng = random.Random(seed + 1)\n") == []
+
+
+class TestWallClock:
+    @pytest.mark.parametrize("call", [
+        "time.time()", "time.time_ns()", "time.monotonic()",
+        "time.perf_counter()", "time.process_time()",
+    ])
+    def test_time_reads_flagged(self, call):
+        findings = lint_source(f"import time\nt = {call}\n")
+        assert rules(findings) == ["wall-clock"]
+
+    @pytest.mark.parametrize("call", [
+        "datetime.now()", "datetime.utcnow()", "date.today()",
+    ])
+    def test_datetime_reads_flagged(self, call):
+        findings = lint_source(
+            f"from datetime import datetime, date\nt = {call}\n"
+        )
+        assert rules(findings) == ["wall-clock"]
+
+    def test_time_sleep_allowed(self):
+        assert lint_source("import time\ntime.sleep(0.1)\n") == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        findings = lint_source("for x in {1, 2, 3}:\n    pass\n")
+        assert rules(findings) == ["unordered-iteration"]
+
+    def test_for_over_set_call_flagged(self):
+        findings = lint_source("for x in set(items):\n    pass\n")
+        assert rules(findings) == ["unordered-iteration"]
+
+    def test_comprehension_over_set_flagged(self):
+        findings = lint_source("out = [x for x in {1, 2}]\n")
+        assert rules(findings) == ["unordered-iteration"]
+
+    def test_for_over_listdir_flagged(self):
+        findings = lint_source("import os\nfor f in os.listdir('.'):\n    pass\n")
+        assert rules(findings) == ["unordered-iteration"]
+
+    def test_for_over_rglob_flagged(self):
+        findings = lint_source("for f in root.rglob('*.json'):\n    pass\n")
+        assert rules(findings) == ["unordered-iteration"]
+
+    def test_sorted_wrapping_allowed(self):
+        assert lint_source("for x in sorted({1, 2, 3}):\n    pass\n") == []
+        assert lint_source(
+            "for f in sorted(root.rglob('*.json')):\n    pass\n"
+        ) == []
+
+    def test_dict_iteration_allowed(self):
+        assert lint_source("for k in mapping:\n    pass\n") == []
+        assert lint_source("for k, v in mapping.items():\n    pass\n") == []
+
+
+class TestWaiver:
+    def test_waiver_comment_suppresses(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # determinism: allow - test fixture noise\n"
+        )
+        assert lint_source(source) == []
+
+    def test_waiver_only_covers_its_own_line(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # determinism: allow - fixture\n"
+            "y = random.random()\n"
+        )
+        assert rules(lint_source(source)) == ["unseeded-random"]
+
+
+class TestLiveTree:
+    def test_fingerprinted_trees_are_clean(self):
+        findings = lint_paths(list(DEFAULT_TARGETS))
+        assert findings == [], findings
+
+    def test_cli_exits_zero_on_default_targets(self):
+        proc = subprocess.run(
+            [sys.executable, str(TOOLS / "lint_determinism.py")],
+            capture_output=True, text=True,
+            cwd=str(TOOLS.parent),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_exits_one_on_dirty_file(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, str(TOOLS / "lint_determinism.py"), str(dirty)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "wall-clock" in proc.stdout

@@ -1,0 +1,92 @@
+"""Differential honesty: every static claim must reproduce under the simulator."""
+
+import pytest
+
+from repro.staticcheck import (
+    WitnessProbe,
+    confirm_report,
+    confirm_witness,
+    verify_scenario,
+    verify_spec,
+)
+from tests.test_staticcheck_analyzer import bypass_spec
+
+
+class TestBypassConfirmation:
+    """The acceptance criterion: the unguarded-path probe reaches protected
+    memory with no alert, under both the object and the vector engine."""
+
+    @pytest.mark.parametrize("engine", ["object", "vector"])
+    def test_probe_reaches_protected_memory_silently(self, engine):
+        spec = bypass_spec()
+        report = verify_spec(spec)
+        witness = report.errors[0].witness
+        assert witness is not None
+        outcome = confirm_witness(spec, witness, engine=engine, run_workload=True)
+        assert outcome.reached, outcome.status
+        assert outcome.alerts == 0
+        assert outcome.status == "completed"
+        assert outcome.confirmed
+        assert outcome.engine == engine
+
+    def test_probe_blocked_once_master_firewall_exists(self):
+        from repro.scenarios.spec import (
+            BridgeSpec, MasterSpec, SegmentSpec, SlaveSpec, TopologySpec,
+        )
+
+        spec = bypass_spec(topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", kind="cpu", segment="seg_a"),
+                MasterSpec("rogue", kind="dma", firewall=True, segment="seg_a",
+                           accessible=("bram",)),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=0x0, size=0x2000, segment="seg_a"),
+                SlaveSpec("secret", "bram", base=0x1000_0000, size=0x2000,
+                          segment="seg_b"),
+            ),
+            segments=(SegmentSpec("seg_a"), SegmentSpec("seg_b")),
+            bridges=(BridgeSpec("br", "seg_a", "seg_b"),),
+        ))
+        report = verify_spec(spec)
+        assert not report.has_errors
+        guard = next(
+            w for w in report.coverage
+            if w.master == "rogue" and w.target == "secret"
+        )
+        outcome = confirm_witness(spec, guard)
+        assert not outcome.reached
+        assert outcome.confirmed
+
+
+class TestRegisteredScenarioConfirmation:
+    @pytest.mark.parametrize("scenario", [
+        "paper_baseline",
+        "sparse_protection",
+        "bridge_firewalled_centralized",
+        "two_segment_dma_isolation",
+        "deep_hierarchy_3seg",
+    ])
+    def test_all_witnesses_confirm(self, scenario):
+        results = confirm_report(scenario)
+        assert results, "scenario should carry at least one witness"
+        failed = [r for r in results if not r.confirmed]
+        assert not failed, [r.to_dict() for r in failed]
+
+    def test_confirm_report_accepts_precomputed_report(self):
+        report = verify_scenario("sparse_protection")
+        results = confirm_report(report, max_coverage=1)
+        assert len(results) == 1
+        assert results[0].confirmed
+
+
+def test_witness_probe_result_carries_witness_payload():
+    spec = bypass_spec()
+    witness = verify_spec(spec).errors[0].witness
+    from repro.api.experiment import Experiment
+
+    built = Experiment.from_spec(spec).protected(True).build()
+    result = WitnessProbe(witness).run(built.system, built.security)
+    assert result.extra["witness"] == witness.to_dict()
+    assert result.extra["status"] == "completed"
+    assert result.achieved_goal and not result.detected

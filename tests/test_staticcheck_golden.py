@@ -1,0 +1,132 @@
+"""Golden expected-findings gate, CLI surface, and fail-fast wiring."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api.cli import main
+from repro.scenarios.builder import ScenarioBuilder
+from repro.scenarios.registry import list_scenarios
+from repro.staticcheck import (
+    StaticCheckError,
+    fail_fast_enabled,
+    set_fail_fast,
+    verify_scenario,
+)
+from tests.test_staticcheck_analyzer import bypass_spec
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "verify_findings.json"
+
+
+def test_findings_match_golden_file():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert sorted(golden) == sorted(list_scenarios())
+    for name in list_scenarios():
+        report = verify_scenario(name)
+        got = [
+            {"code": f.code, "severity": f.severity, "subject": f.subject}
+            for f in report.findings
+        ]
+        assert got == golden[name], (
+            f"{name}: findings drifted from tests/golden/verify_findings.json; "
+            "regenerate it if the change is intentional"
+        )
+
+
+class TestVerifyCli:
+    def test_verify_all_exits_zero(self, capsys):
+        assert main(["verify", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "Static policy/fabric verification" in out
+        assert "no error findings" in out
+
+    def test_verify_json_schema(self, capsys):
+        assert main(["verify", "paper_baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["errors"] == 0
+        (report,) = payload["reports"]
+        assert report["scenario"] == "paper_baseline"
+        assert report["verdict"] == "ok"
+        assert set(report["counts"]) == {"error", "warning", "info"}
+        assert all(w["enforced_by"] for w in report["coverage"])
+
+    def test_verify_confirm_replays_witnesses(self, capsys):
+        assert main(["verify", "sparse_protection", "--confirm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed_confirmations"] == 0
+        results = payload["confirmations"]["sparse_protection"]
+        assert results and all(r["confirmed"] for r in results)
+
+    def test_verify_unknown_scenario_fails(self, capsys):
+        assert main(["verify", "nonsense"]) == 1
+        assert "no scenario named" in capsys.readouterr().err
+
+
+class TestFailFastGate:
+    @pytest.fixture(autouse=True)
+    def _restore_gate(self):
+        previous = fail_fast_enabled()
+        yield
+        set_fail_fast(previous)
+
+    def test_gate_off_by_default(self):
+        assert not fail_fast_enabled()
+        ScenarioBuilder(bypass_spec())  # builds despite the ERROR finding
+
+    def test_builder_raises_on_error_findings_when_enabled(self):
+        set_fail_fast(True)
+        with pytest.raises(StaticCheckError) as excinfo:
+            ScenarioBuilder(bypass_spec())
+        assert "unguarded-path" in str(excinfo.value)
+        assert excinfo.value.report.has_errors
+        assert excinfo.value.where == "ScenarioBuilder"
+
+    def test_explicit_verify_false_bypasses_the_gate(self):
+        set_fail_fast(True)
+        ScenarioBuilder(bypass_spec(), verify=False)
+
+    def test_registered_scenarios_pass_the_gate(self):
+        set_fail_fast(True)
+        for name in ("paper_baseline", "deep_hierarchy_3seg"):
+            from repro.scenarios.registry import get_scenario
+
+            ScenarioBuilder(get_scenario(name))
+
+    def test_sweep_classify_raises_on_error_findings_when_enabled(self, tmp_path):
+        from repro.sweep import ResultStore, SweepRunner, SweepSpec
+
+        set_fail_fast(True)
+        spec = SweepSpec(scenarios=("bypass_probe",))
+        runner = SweepRunner(
+            spec,
+            ResultStore(tmp_path / "store"),
+            resolver=lambda name: bypass_spec(),
+        )
+        with pytest.raises(StaticCheckError) as excinfo:
+            runner.classify()
+        assert "sweep point" in excinfo.value.where
+
+    def test_sweep_classify_clean_when_gate_off(self, tmp_path):
+        from repro.sweep import ResultStore, SweepRunner, SweepSpec
+
+        spec = SweepSpec(scenarios=("bypass_probe",))
+        runner = SweepRunner(
+            spec,
+            ResultStore(tmp_path / "store"),
+            resolver=lambda name: bypass_spec(),
+        )
+        report, jobs = runner.classify()
+        assert len(jobs) == 1
+
+
+def test_catalog_verified_column_matches_analyzer():
+    from repro.scenarios.catalog import scenario_summaries
+
+    for summary in scenario_summaries():
+        assert summary["verified"] == verify_scenario(summary["name"]).verdict()
+
+
+def test_catalog_page_in_sync(capsys):
+    assert main(["catalog", "--check"]) == 0
