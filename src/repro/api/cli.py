@@ -23,6 +23,11 @@ Subcommands:
   dead rules and bridge hazards, each with a concrete witness; ``--confirm``
   replays every witness as a probe attack under the simulator (exit 1 on
   any ERROR finding or failed confirmation),
+* ``repro fuzz SCENARIO [--seed N] [--budget N] [--steps N] [--engine E]
+  [--store DIR] [--replay FILE] [--json]`` — the seeded property-based
+  bypass fuzzer: search for transaction sequences that silently reach
+  protected state, minimize each find and replay it under both engines
+  (exit 1 on any finding; ``--replay`` re-checks a committed corpus file),
 * ``repro catalog [--write PATH] [--check]`` — render the scenario catalog
   markdown page from the registry,
 * ``repro serve [--socket PATH] [--store DIR] [--workers N] [--http PORT]
@@ -224,6 +229,31 @@ def build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--engine", default=None,
                             choices=["object", "vector", "auto"],
                             help="engine for --confirm warm-up workloads")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="seeded property-based search for silent firewall bypasses"
+    )
+    fuzz_cmd.add_argument("scenario",
+                          help="registered scenario name (or 'planted_backdoor', "
+                               "the built-in acceptance fixture)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="generator seed; the whole run is a pure function "
+                               "of (scenario, seed, budget, steps)")
+    fuzz_cmd.add_argument("--budget", type=int, default=200, metavar="N",
+                          help="number of generated cases to try (default: 200)")
+    fuzz_cmd.add_argument("--steps", type=int, default=12, metavar="N",
+                          help="steps per generated case (default: 12)")
+    fuzz_cmd.add_argument("--engine", action="append", default=None, metavar="E",
+                          choices=["object", "vector"],
+                          help="engine for finding replays (repeatable; "
+                               "default: both object and vector)")
+    fuzz_cmd.add_argument("--store", default=None, metavar="DIR",
+                          help="persist minimized finds into this result store "
+                               f"(e.g. {DEFAULT_STORE_DIR}; default: no store)")
+    fuzz_cmd.add_argument("--replay", metavar="FILE", default=None,
+                          help="skip the search; replay the corpus file's cases "
+                               "under every engine and re-check each verdict")
+    fuzz_cmd.add_argument("--json", action="store_true", help="machine-readable report")
 
     catalog_cmd = sub.add_parser(
         "catalog", help="render docs/scenario-catalog.md from the scenario registry"
@@ -563,6 +593,110 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if (errors or failed_confirms) else 0
 
 
+def _fuzz_spec(name: str):
+    """Resolve a fuzz target: the registry, or the planted acceptance fixture."""
+    from repro.fuzz import planted_backdoor_spec
+    from repro.scenarios import get_scenario
+
+    if name == "planted_backdoor":
+        return planted_backdoor_spec()
+    if name not in list_scenarios():
+        raise SystemExit(f"repro fuzz: no scenario named {name!r}")
+    return get_scenario(name)
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Re-check a committed corpus file: every case must still reproduce its
+    recorded violation identity, under identical engine behaviour."""
+    from repro.fuzz import BypassOracle, FuzzCase, load_cases, replay_case
+    from repro.scenarios.differential import diff_fingerprints
+
+    engines = tuple(args.engine or ("object", "vector"))
+    entries = load_cases(args.replay)
+    results = []
+    failures = 0
+    for entry in entries:
+        case = FuzzCase.from_dict(entry["case"])
+        spec = _fuzz_spec(case.scenario)
+        oracle = BypassOracle(spec)
+        outcome = oracle.run(case)
+        want = entry.get("violation", {})
+        identity = (want.get("kind"), want.get("master"), want.get("target"), want.get("op"))
+        reproduced = any(v.identity == identity for v in outcome.violations)
+        replays = {engine: replay_case(spec, case, engine) for engine in engines}
+        reference = replays[engines[0]]
+        identical = all(
+            not diff_fingerprints(reference["fingerprint"], replays[e]["fingerprint"])
+            and reference["steps"] == replays[e]["steps"]
+            for e in engines[1:]
+        )
+        ok = reproduced and identical
+        failures += 0 if ok else 1
+        results.append({
+            "scenario": case.scenario,
+            "digest": case.digest(),
+            "steps": len(case),
+            "reproduced": reproduced,
+            "engines_identical": identical,
+        })
+    if args.json:
+        print(json.dumps(
+            {"schema": 1, "replayed": len(results), "failures": failures,
+             "cases": results},
+            indent=2, sort_keys=True,
+        ))
+        return 1 if failures else 0
+    for row in results:
+        verdict = "ok" if (row["reproduced"] and row["engines_identical"]) else "FAIL"
+        print(f"  {row['scenario']}/{row['digest']} ({row['steps']} steps): {verdict}")
+    print(f"replayed {len(results)} corpus case(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import Corpus, fuzz_scenario
+    from repro.sweep import ResultStore
+
+    if args.replay:
+        return _cmd_fuzz_replay(args)
+
+    spec = _fuzz_spec(args.scenario)
+    corpus = Corpus(ResultStore(args.store)) if args.store else None
+    report = fuzz_scenario(
+        spec,
+        seed=args.seed,
+        budget=args.budget,
+        n_steps=args.steps,
+        engines=tuple(args.engine or ("object", "vector")),
+        corpus=corpus,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+    print(f"fuzz {report.scenario}: seed={report.seed} budget={report.budget} "
+          f"steps/case={report.n_steps}")
+    print(f"  cases    : {report.cases_run} ({report.steps_run} steps, "
+          f"{report.blocked_steps} blocked)")
+    print(f"  coverage : {report.coverage_signatures} distinct protocol signatures")
+    if report.clean:
+        print("  verdict  : clean -- no silent reach of protected state")
+        return 0
+    for finding in report.findings:
+        violation = finding["violation"]
+        case = finding["case"]
+        identical = finding["engines_identical"]
+        print(f"  FINDING  : {violation['kind']} {violation['master']} -> "
+              f"{violation['target']} ({violation['op']}) in "
+              f"{len(case['steps'])} step(s), engines identical: {identical}")
+        for index, step in enumerate(case["steps"]):
+            print(f"      step {index}: {step['master']} {step['op']} "
+                  f"0x{step['address']:08x}")
+    if report.corpus_keys:
+        print(f"  corpus   : {len(report.corpus_keys)} case(s) -> {args.store}")
+    print(f"  verdict  : {len(report.findings)} silent bypass(es) found")
+    return 1
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     rendered = render_catalog()
     if args.check is not False:
@@ -611,6 +745,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_status(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_catalog(args)
 
 

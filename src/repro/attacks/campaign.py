@@ -120,14 +120,57 @@ class CampaignReport:
             )
         return out
 
+    def chain_totals(self) -> Dict[str, object]:
+        """Per-step attribution for multi-transaction attack chains.
+
+        Classic single-transaction attacks score one blocked/alerted decision
+        per attempt; a chain needs per-*step* accounting (which link broke,
+        at which interface) or sharded runs would double-count whole chains.
+        Totals are derived purely from the per-row ``chain_steps`` records the
+        chain attacks emit on the protected platform, so they are identical
+        whether the rows were produced serially or merged from shards.
+        """
+        totals: Dict[str, object] = {
+            "attacks": 0,
+            "steps_planned": 0,
+            "steps_run": 0,
+            "blocked_steps": 0,
+            "alerted_steps": 0,
+            "broken_chains": 0,
+            "containment": {},
+        }
+        containment: Dict[str, int] = totals["containment"]  # type: ignore[assignment]
+        for row in self.rows:
+            steps = row.protected.extra.get("chain_steps")
+            chain = row.protected.extra.get("chain")
+            if not isinstance(steps, list) or not isinstance(chain, dict):
+                continue
+            totals["attacks"] += 1
+            totals["steps_planned"] += int(chain.get("steps_planned", len(steps)))
+            totals["steps_run"] += len(steps)
+            if chain.get("first_blocked_step") is not None:
+                totals["broken_chains"] += 1
+            for step in steps:
+                status = str(step.get("status", ""))
+                if status.startswith("blocked") or status == "integrity_error":
+                    totals["blocked_steps"] += 1
+                    containment[status] = containment.get(status, 0) + 1
+                if int(step.get("alerts", 0)) > 0:
+                    totals["alerted_steps"] += 1
+        return totals
+
     def summary(self) -> Dict[str, object]:
-        return {
+        summary: Dict[str, object] = {
             "attacks": self.n_attacks,
             "prevented": self.n_prevented,
             "detected": self.n_detected,
             "detection_rate": self.detection_rate(),
             "prevention_rate": self.prevention_rate(),
         }
+        chains = self.chain_totals()
+        if chains["attacks"]:
+            summary["chains"] = chains
+        return summary
 
 
 class AttackCampaign:

@@ -1,0 +1,208 @@
+"""The fuzzing loop behind ``repro fuzz``.
+
+One run is a pure function of (scenario, seed, budget, steps-per-case): the
+generator is the only randomness source, the oracle replay is deterministic
+simulation, and the report carries no wall clock — the same invocation is
+bit-reproducible, which is what lets CI diff two runs of the same seed.
+
+Coverage feedback: every case whose replay produces a *novel* device-counter
+signature (which protocol transitions it exercised) joins the mutation pool,
+so sequences that got partway through a device protocol breed sequences that
+finish it.  Every found violation is minimized with the ddmin shrinker and
+then replayed under **both** transaction engines — a bypass only enters the
+report (and the corpus) with its engine fingerprints attached, so a vector
+divergence can never hide behind a security finding or vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.base import issue_sync
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generator import SequenceGenerator
+from repro.fuzz.oracle import BypassOracle, Violation
+from repro.fuzz.shrink import shrink_case
+from repro.scenarios.builder import ScenarioBuilder
+from repro.scenarios.differential import _variant_fingerprint, diff_fingerprints
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["FuzzReport", "fuzz_scenario", "replay_case"]
+
+
+def replay_case(
+    spec: ScenarioSpec, case: FuzzCase, engine: Optional[str] = None
+) -> Dict[str, object]:
+    """Replay one case after a workload run under the chosen engine.
+
+    Returns the per-step statuses/alert deltas and the full structural
+    fingerprint of the final platform state — comparing two engines'
+    replays with :func:`diff_fingerprints` is the fuzz analogue of the
+    engine-identity differential gate.
+    """
+    built = ScenarioBuilder(spec, verify=False).build(_warn=False)
+    built.run_workload(engine=engine)
+    monitor = built.monitor
+    steps: List[Dict[str, object]] = []
+    for step in case.steps:
+        if step.master not in built.system.master_ports:
+            steps.append({"status": "skipped", "alerts": 0})
+            continue
+        before = len(monitor.alerts) if monitor else 0
+        txn = step.to_transaction()
+        issue_sync(built.system, step.master, txn)
+        steps.append({
+            "status": txn.status.value,
+            "alerts": (len(monitor.alerts) if monitor else 0) - before,
+        })
+    report = built.engine_report
+    return {
+        "engine": engine or spec.engine.mode,
+        "engine_used": getattr(report, "used", "object"),
+        "fallback_reason": getattr(report, "fallback_reason", None),
+        "steps": steps,
+        "fingerprint": _variant_fingerprint(built, built.system.sim.now),
+    }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one seeded fuzz run (wall-clock free, JSON-stable)."""
+
+    scenario: str
+    seed: int
+    budget: int
+    n_steps: int
+    cases_run: int = 0
+    steps_run: int = 0
+    blocked_steps: int = 0
+    coverage_signatures: int = 0
+    #: One record per distinct violation identity:
+    #: {"case", "violation", "engines", "engines_identical"}.
+    findings: List[Dict[str, object]] = field(default_factory=list)
+    #: Store keys of corpus entries written this run.
+    corpus_keys: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        def scrub(value: object) -> object:
+            # Fingerprints carry tuples (alert rows); normalise for JSON
+            # equality so two runs of the same seed serialise identically.
+            if isinstance(value, dict):
+                return {str(k): scrub(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [scrub(v) for v in value]
+            return value
+
+        return {
+            "schema": 1,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "budget": self.budget,
+            "n_steps": self.n_steps,
+            "cases_run": self.cases_run,
+            "steps_run": self.steps_run,
+            "blocked_steps": self.blocked_steps,
+            "coverage_signatures": self.coverage_signatures,
+            "clean": self.clean,
+            "findings": scrub(self.findings),
+            "corpus_keys": list(self.corpus_keys),
+        }
+
+
+def _judge_violation(
+    spec: ScenarioSpec,
+    oracle: BypassOracle,
+    case: FuzzCase,
+    violation: Violation,
+    engines: Sequence[str],
+    do_shrink: bool,
+    corpus: Optional[Corpus],
+) -> Tuple[Dict[str, object], Optional[str]]:
+    """Minimize, cross-engine replay and (optionally) persist one finding."""
+    minimized = shrink_case(oracle, case, violation) if do_shrink else case
+    replay = oracle.run(minimized)
+    confirmed = next(
+        (v for v in replay.violations if v.identity == violation.identity),
+        violation,
+    )
+    engine_results = {
+        engine: replay_case(spec, minimized, engine) for engine in engines
+    }
+    identical = True
+    reference = None
+    for engine in engines:
+        current = engine_results[engine]
+        if reference is None:
+            reference = current
+            continue
+        if diff_fingerprints(reference["fingerprint"], current["fingerprint"]):
+            identical = False
+        if reference["steps"] != current["steps"]:
+            identical = False
+    record: Dict[str, object] = {
+        "case": minimized.to_dict(),
+        "violation": confirmed.to_dict(),
+        "engines": {
+            engine: {k: v for k, v in result.items() if k != "fingerprint"}
+            for engine, result in engine_results.items()
+        },
+        "engines_identical": identical,
+    }
+    key = None
+    if corpus is not None:
+        key = corpus.add(minimized, confirmed.to_dict(), record["engines"])
+    return record, key
+
+
+def fuzz_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed: int = 0,
+    budget: int = 200,
+    n_steps: int = 12,
+    engines: Sequence[str] = ("object", "vector"),
+    shrink: bool = True,
+    corpus: Optional[Corpus] = None,
+    stop_on_first: bool = False,
+) -> FuzzReport:
+    """Search ``budget`` cases for silent reaches of protected memory."""
+    generator = SequenceGenerator(spec, seed)
+    oracle = BypassOracle(spec)
+    report = FuzzReport(scenario=spec.name, seed=seed, budget=budget, n_steps=n_steps)
+    pool: List[FuzzCase] = []
+    seen_signatures: set = set()
+    found: Dict[Tuple[str, str, str, str], bool] = {}
+
+    for _ in range(budget):
+        if pool and generator.rng.random() < 0.5:
+            case = generator.mutate(pool[generator.rng.randrange(len(pool))])
+        else:
+            case = generator.generate(n_steps)
+        result = oracle.run(case)
+        report.cases_run += 1
+        report.steps_run += result.steps_run
+        report.blocked_steps += result.blocked_steps
+        if result.signature and result.signature not in seen_signatures:
+            seen_signatures.add(result.signature)
+            pool.append(case)
+        for violation in result.violations:
+            if violation.identity in found:
+                continue
+            found[violation.identity] = True
+            record, key = _judge_violation(
+                spec, oracle, case, violation, engines, shrink, corpus
+            )
+            report.findings.append(record)
+            if key is not None:
+                report.corpus_keys.append(key)
+        if report.findings and stop_on_first:
+            break
+
+    report.coverage_signatures = len(seen_signatures)
+    return report

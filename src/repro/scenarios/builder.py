@@ -16,6 +16,11 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Tuple, Union
 
+from repro.attacks.chains import (
+    BootRollbackChain,
+    DescriptorHijackChain,
+    FirmwareSabotageChain,
+)
 from repro.attacks.cross_segment import CrossSegmentProbe, CrossSegmentWriteStorm
 from repro.attacks.dos import DoSFloodAttack
 from repro.attacks.hijack import ExfiltrationAttack, HijackedIPAttack, SensitiveRegisterProbe
@@ -38,6 +43,7 @@ from repro.core.secure import (
 from repro.soc.address_map import AddressMap
 from repro.soc.bus import FixedPriorityArbiter, RoundRobinArbiter, SystemBus
 from repro.soc.fabric import InterconnectFabric
+from repro.soc.devices import DmaDescriptorRing, FirmwareUpdateIP, SecureBootSequencer
 from repro.soc.ip import RegisterFileIP
 from repro.soc.kernel import Simulator
 from repro.soc.memory import BlockRAM, ExternalDDR
@@ -60,6 +66,9 @@ ATTACK_KINDS = {
     "dos_flood": DoSFloodAttack,
     "cross_segment_probe": CrossSegmentProbe,
     "cross_segment_write_storm": CrossSegmentWriteStorm,
+    "firmware_update_chain": FirmwareSabotageChain,
+    "descriptor_hijack_chain": DescriptorHijackChain,
+    "boot_rollback_chain": BootRollbackChain,
 }
 
 #: First SPI allocated to scenario-defined ciphering policies (clear of the
@@ -329,15 +338,31 @@ class ScenarioBuilder:
                     segment=segment,
                 )
             else:
-                system.add_ip(
-                    RegisterFileIP(
-                        sim, slave.name, base=slave.base,
-                        n_registers=slave.n_registers,
-                        access_latency=slave.access_latency,
-                        sensitive_registers=list(slave.sensitive_registers),
-                    ),
-                    segment=segment,
+                register_kwargs = dict(
+                    n_registers=slave.n_registers,
+                    access_latency=slave.access_latency,
+                    sensitive_registers=list(slave.sensitive_registers),
                 )
+                if slave.kind == "firmware":
+                    device = FirmwareUpdateIP(
+                        sim, slave.name, base=slave.base, **register_kwargs
+                    )
+                elif slave.kind == "dma_ring":
+                    device = DmaDescriptorRing(
+                        sim, slave.name, base=slave.base, **register_kwargs
+                    )
+                elif slave.kind == "secure_boot":
+                    device = SecureBootSequencer(
+                        sim, slave.name, base=slave.base,
+                        key_seed=slave.boot_key_seed,
+                        debug_unlock=slave.debug_unlock,
+                        **register_kwargs,
+                    )
+                else:
+                    device = RegisterFileIP(
+                        sim, slave.name, base=slave.base, **register_kwargs
+                    )
+                system.add_ip(device, segment=segment)
 
         for master in topology.masters:
             segment = topology.segment_of(master)
@@ -404,7 +429,7 @@ class ScenarioBuilder:
             for slave in self.spec.topology.slaves:
                 if slave.name in bridge.deny:
                     continue
-                policy = policies["ip_registers"] if slave.kind == "ip" else policies["internal_full"]
+                policy = policies["ip_registers"] if slave.is_register_kind else policies["internal_full"]
                 rules.append(PlanRule(slave.base, slave.size, policy, label=slave.region_name))
             plans.append(BridgeFirewallPlan(bridge.name, rules))
         return plans
@@ -440,7 +465,7 @@ class ScenarioBuilder:
             for slave in topology.slaves:
                 if not master.can_access(slave.name):
                     continue
-                if slave.kind == "ip":
+                if slave.is_register_kind:
                     policy = policies["ip_registers"]
                     if slave.name in master.readonly:
                         policy = policy.with_updates(
@@ -465,7 +490,7 @@ class ScenarioBuilder:
         for slave in topology.slaves if leaf else ():
             if slave.kind == "ddr" or not slave.firewall:
                 continue
-            policy = policies["ip_registers"] if slave.kind == "ip" else policies["internal_full"]
+            policy = policies["ip_registers"] if slave.is_register_kind else policies["internal_full"]
             slaves.append(
                 SlaveFirewallPlan(
                     slave.name,

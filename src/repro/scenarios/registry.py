@@ -485,3 +485,82 @@ def centralized_baseline_mirror() -> ScenarioSpec:
         ),
         enforcement="centralized",
     )
+
+
+@register_scenario
+def firmware_update_bay() -> ScenarioSpec:
+    """Stateful firmware/DMA devices under multi-step chain attacks.
+
+    A maintenance CPU legitimately drives the firmware-update state machine
+    and the DMA descriptor ring; a hijacked application CPU tries the same
+    unlock->arm->stage->commit chain and is cut off at its own Local
+    Firewall, while the maintenance CPU itself is turned against the secret
+    BRAM through a rewritten DMA descriptor — latching succeeds (the ring is
+    within its policy) but the programmed exfiltration read breaks at the
+    last hop, pinning per-step containment attribution.
+    """
+    return ScenarioSpec(
+        name="firmware_update_bay",
+        description="firmware state machine + DMA descriptor ring vs. chained attacks",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "fw0", "ring0")),
+                MasterSpec("cpu1", accessible=("bram",)),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=16 * 1024),
+                SlaveSpec("secret", "bram", base=0x0001_0000, size=4 * 1024),
+                SlaveSpec("fw0", "firmware", base=_IP_BASE, n_registers=16,
+                          sensitive_registers=(2, 3)),
+                SlaveSpec("ring0", "dma_ring", base=0x4100_0000, n_registers=20,
+                          sensitive_registers=()),
+            ),
+        ),
+        workload=WorkloadSpec(n_operations=80, seed=101),
+        attacks=(
+            AttackSpec("firmware_update_chain", {"hijacked_master": "cpu1", "device": "fw0"}),
+            AttackSpec("descriptor_hijack_chain", {
+                "hijacked_master": "cpu0", "ring": "ring0",
+                "target_address": 0x0001_0000,
+            }),
+            AttackSpec("dos_flood", {"hijacked_master": "cpu1", "n_requests": 40}),
+        ),
+        flood_threshold=20,
+    )
+
+
+@register_scenario
+def secure_boot_bay() -> ScenarioSpec:
+    """Secure-boot sequencer isolated behind a bridge, rollback chain attack.
+
+    The boot device (keys wiped, no debug backdoor) lives on its own security
+    segment behind a firewalled bridge under ``both`` placement.  A hijacked
+    application CPU runs the debug-unlock -> stage-rollback -> key-read
+    chain; distributed placement stops it at the master's own interface
+    before a single transaction crosses the bridge.
+    """
+    return ScenarioSpec(
+        name="secure_boot_bay",
+        description="bridged secure-boot sequencer vs. stage-rollback chain",
+        topology=TopologySpec(
+            masters=(
+                MasterSpec("cpu0", accessible=("bram", "bram1", "boot0"), segment="seg_app"),
+                MasterSpec("cpu1", accessible=("bram", "bram1"), segment="seg_app"),
+            ),
+            slaves=(
+                SlaveSpec("bram", "bram", base=_BRAM_BASE, size=16 * 1024, segment="seg_app"),
+                SlaveSpec("bram1", "bram", base=0x0001_0000, size=8 * 1024, segment="seg_sec"),
+                SlaveSpec("boot0", "secure_boot", base=_IP_BASE, n_registers=8,
+                          sensitive_registers=(4, 5, 6, 7), segment="seg_sec"),
+            ),
+            segments=(SegmentSpec("seg_app"), SegmentSpec("seg_sec")),
+            bridges=(BridgeSpec("br_sec", "seg_app", "seg_sec", forward_latency=2),),
+        ),
+        placement="both",
+        workload=WorkloadSpec(n_operations=80, seed=102),
+        attacks=(
+            AttackSpec("boot_rollback_chain", {"hijacked_master": "cpu1", "device": "boot0"}),
+            AttackSpec("dos_flood", {"hijacked_master": "cpu1", "n_requests": 40}),
+        ),
+        flood_threshold=20,
+    )

@@ -43,7 +43,12 @@ __all__ = [
 WINDOW_PROTECTIONS = ("secure", "cipher_only", "plain")
 
 #: Device kinds a slave spec can instantiate.
-SLAVE_KINDS = ("bram", "ddr", "ip")
+SLAVE_KINDS = ("bram", "ddr", "ip", "firmware", "dma_ring", "secure_boot")
+
+#: Slave kinds backed by a word-addressed register bank (``size`` is derived
+#: from ``n_registers`` and the address map region is ``<name>_regs``).  The
+#: last three are the stateful protocol devices from :mod:`repro.soc.devices`.
+REGISTER_SLAVE_KINDS = ("ip", "firmware", "dma_ring", "secure_boot")
 
 #: Master kinds a master spec can instantiate.
 MASTER_KINDS = ("cpu", "dma")
@@ -79,10 +84,13 @@ class SlaveSpec:
     """One slave device on the bus.
 
     ``kind`` selects the device model: ``"bram"`` (on-chip BlockRAM),
-    ``"ddr"`` (off-chip external memory, eligible for an LCF) or ``"ip"``
-    (a register-file IP; ``size`` is derived from ``n_registers``).
-    ``firewall`` controls whether the security plan guards this slave (an LF
-    for internal slaves, an LCF for DDR slaves).
+    ``"ddr"`` (off-chip external memory, eligible for an LCF) or one of the
+    register-bank kinds (``size`` derived from ``n_registers``): ``"ip"``
+    (plain register-file IP), ``"firmware"`` (firmware-update state
+    machine), ``"dma_ring"`` (DMA descriptor ring) or ``"secure_boot"``
+    (secure-boot sequencer guarding a key bank).  ``firewall`` controls
+    whether the security plan guards this slave (an LF for internal slaves,
+    an LCF for DDR slaves).
     """
 
     name: str
@@ -101,17 +109,21 @@ class SlaveSpec:
     row_miss_latency: int = 30
     windows: Tuple[WindowSpec, ...] = ()
 
-    # ip
+    # register-bank kinds (ip / firmware / dma_ring / secure_boot)
     n_registers: int = 64
     access_latency: int = 2
     sensitive_registers: Tuple[int, ...] = (0, 1, 2, 3)
 
+    # secure_boot only
+    boot_key_seed: int = 0xB007_0001
+    debug_unlock: bool = False
+
     def __post_init__(self) -> None:
         if self.kind not in SLAVE_KINDS:
             raise ValueError(f"slave kind must be one of {SLAVE_KINDS}, got {self.kind!r}")
-        if self.kind == "ip":
+        if self.is_register_kind:
             if self.n_registers <= 0:
-                raise ValueError("ip slave needs at least one register")
+                raise ValueError(f"{self.kind} slave needs at least one register")
             object.__setattr__(self, "size", 4 * self.n_registers)
         elif self.size <= 0:
             raise ValueError(f"slave {self.name}: size must be positive")
@@ -125,9 +137,14 @@ class SlaveSpec:
         return self.base + self.size
 
     @property
+    def is_register_kind(self) -> bool:
+        """Whether this slave is a word-addressed register bank."""
+        return self.kind in REGISTER_SLAVE_KINDS
+
+    @property
     def region_name(self) -> str:
         """Name of this slave's region in the platform address map."""
-        return f"{self.name}_regs" if self.kind == "ip" else self.name
+        return f"{self.name}_regs" if self.is_register_kind else self.name
 
 
 @dataclass(frozen=True)
@@ -236,8 +253,10 @@ class AttackSpec:
 
     ``kind`` names a class in :data:`repro.scenarios.builder.ATTACK_KINDS`
     (``spoofing``, ``replay``, ``relocation``, ``sensitive_register_probe``,
-    ``hijacked_ip_write``, ``exfiltration``, ``dos_flood``); ``params`` are
-    keyword arguments forwarded to its constructor.
+    ``hijacked_ip_write``, ``exfiltration``, ``dos_flood``, or the stateful
+    chains ``firmware_update_chain``, ``descriptor_hijack_chain``,
+    ``boot_rollback_chain``); ``params`` are keyword arguments forwarded to
+    its constructor.
     """
 
     kind: str

@@ -115,12 +115,12 @@ def _protected_window_address(slave: SlaveSpec) -> Optional[int]:
 def _witness_address(slave: SlaveSpec) -> int:
     """A representative protected address inside one slave's region.
 
-    IP slaves are probed at their first sensitive register (a word-wide
-    access that passes every format check on the way — the witness must
-    demonstrate the *per-master* gap, not die of a format violation);
+    Register-bank slaves are probed at their first sensitive register (a
+    word-wide access that passes every format check on the way — the witness
+    must demonstrate the *per-master* gap, not die of a format violation);
     DDR slaves at their first protected window when one exists.
     """
-    if slave.kind == "ip" and slave.sensitive_registers:
+    if slave.is_register_kind and slave.sensitive_registers:
         return slave.base + 4 * slave.sensitive_registers[0]
     if slave.kind == "ddr":
         window = _protected_window_address(slave)
@@ -356,8 +356,8 @@ class _Analysis:
     def _check_format(
         self, master: MasterSpec, slave: SlaveSpec, bridges: Sequence[str]
     ) -> None:
-        """Word-only Allowed-Data-Format protection of register-file IPs."""
-        if slave.kind != "ip" or not slave.firewall:
+        """Word-only Allowed-Data-Format protection of register-bank slaves."""
+        if not slave.is_register_kind or not slave.firewall:
             return
         if not master.can_access(slave.name):
             return  # already judged as an access restriction

@@ -29,6 +29,7 @@ FABRIC_SCENARIOS = {
     "bridge_firewalled_centralized",
     "deep_hierarchy_3seg",
     "cross_segment_attack_storm",
+    "secure_boot_bay",
 }
 
 
@@ -114,6 +115,50 @@ def test_payload_sinks_still_fall_back():
     report = built.engine_report
     assert report.used == "object"
     assert "payload sinks" in report.fallback_reason
+
+
+def test_split_transaction_slaves_still_fall_back():
+    """A slave port flying the split-transaction flag is outside the engine's
+    mirrored subset: the run must decline with the pinned reason and the
+    object path must produce the same observables it always does."""
+
+    def run(engine):
+        built = ScenarioBuilder(registry.get_scenario("paper_baseline")).build(
+            True, _warn=False
+        )
+        name = built.system.bus.slave_names[0]
+        built.system.bus.slave_port(name).split_transactions = True
+        final = built.run_workload(engine=engine)
+        return _variant_fingerprint(built, final), built.engine_report, name
+
+    fp_object, _, _ = run("object")
+    fp_vector, report, name = run("vector")
+    assert report.used == "object"
+    assert report.fallback_reason == f"slave endpoint {name} uses split transactions"
+    assert not diff_fingerprints(fp_object, fp_vector)
+
+
+def test_completion_hooks_still_fall_back():
+    """Processor completion hooks observe per-transaction ordering the batch
+    engine does not replay; the run must decline with the pinned reason and
+    stay observationally identical on the object path."""
+
+    def run(engine):
+        built = ScenarioBuilder(registry.get_scenario("paper_baseline")).build(
+            True, _warn=False
+        )
+        proc = next(iter(built.system.processors.values()))
+        calls = []
+        proc.on_finished = lambda p: calls.append((p.name, p.finished_at))
+        final = built.run_workload(engine=engine)
+        return _variant_fingerprint(built, final), built.engine_report, proc.name, calls
+
+    fp_object, _, _, calls_object = run("object")
+    fp_vector, report, name, calls_vector = run("vector")
+    assert report.used == "object"
+    assert report.fallback_reason == f"processor {name} has a completion hook"
+    assert not diff_fingerprints(fp_object, fp_vector)
+    assert calls_object and calls_object == calls_vector
 
 
 def test_replay_actually_happens_on_steady_workloads():

@@ -1,0 +1,65 @@
+"""Engine identity under fuzz stimuli.
+
+The engine-differential gate drives every registered scenario's *workload*
+through both engines; this file extends the same fingerprint-identity
+contract to *fuzz-shaped* stimuli: adversarial, protocol-aware transaction
+sequences replayed after the workload.  Every committed corpus case and a
+seeded sample of generated cases must leave bit-identical observables under
+the object and vector engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzCase, SequenceGenerator, load_cases, replay_case
+from repro.fuzz.planted import planted_backdoor_spec
+from repro.scenarios import get_scenario
+from repro.scenarios.differential import diff_fingerprints
+
+CORPUS_ENTRIES = load_cases("tests/corpus/planted_backdoor.json")
+
+#: Scenario/seed pairs for the generated smoke sample: the stateful packs
+#: (where the protocol devices live) plus one bridged fabric.
+SMOKE_TARGETS = [
+    ("firmware_update_bay", 7),
+    ("secure_boot_bay", 7),
+    ("two_segment_dma_isolation", 7),
+]
+
+
+def _spec_for(name: str):
+    if name == "planted_backdoor":
+        return planted_backdoor_spec()
+    return get_scenario(name)
+
+
+def _assert_engine_identity(spec, case: FuzzCase) -> None:
+    replay_object = replay_case(spec, case, "object")
+    replay_vector = replay_case(spec, case, "vector")
+    assert replay_vector["engine_used"] == "vector", replay_vector["fallback_reason"]
+    diffs = diff_fingerprints(
+        replay_object["fingerprint"], replay_vector["fingerprint"]
+    )
+    assert not diffs, (
+        f"{spec.name} case {case.digest()} diverged under the vector engine:\n  "
+        + "\n  ".join(diffs)
+    )
+    assert replay_object["steps"] == replay_vector["steps"]
+
+
+@pytest.mark.parametrize(
+    "entry", CORPUS_ENTRIES,
+    ids=[e["case"]["scenario"] for e in CORPUS_ENTRIES],
+)
+def test_committed_corpus_cases_are_engine_identical(entry):
+    case = FuzzCase.from_dict(entry["case"])
+    _assert_engine_identity(_spec_for(case.scenario), case)
+
+
+@pytest.mark.parametrize("name,seed", SMOKE_TARGETS, ids=[t[0] for t in SMOKE_TARGETS])
+def test_generated_cases_are_engine_identical(name, seed):
+    spec = get_scenario(name)
+    generator = SequenceGenerator(spec, seed)
+    for _ in range(4):
+        _assert_engine_identity(spec, generator.generate(8))

@@ -1,0 +1,244 @@
+"""Core fuzzer machinery: cases, generator determinism, shrinking, corpus,
+report reproducibility and the ``repro fuzz`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+from repro.fuzz import (
+    BypassOracle,
+    Corpus,
+    FuzzCase,
+    FuzzStep,
+    SequenceGenerator,
+    export_cases,
+    fuzz_scenario,
+    load_cases,
+    planted_backdoor_spec,
+    replay_case,
+    shrink_case,
+)
+from repro.scenarios import get_scenario
+from repro.sweep.store import ResultStore
+
+SPEC = planted_backdoor_spec()
+
+
+# -- cases ------------------------------------------------------------------------
+
+
+def _case() -> FuzzCase:
+    return FuzzCase(
+        scenario="planted_backdoor",
+        seed=3,
+        steps=(
+            FuzzStep("cpu0", "write", 0x4200_0008, data=b"\x01\x00\xb6\xde"),
+            FuzzStep("cpu0", "read", 0x4200_0010),
+        ),
+    )
+
+
+def test_case_round_trips_through_dict():
+    case = _case()
+    clone = FuzzCase.from_dict(json.loads(json.dumps(case.to_dict())))
+    assert clone == case
+    assert clone.digest() == case.digest()
+
+
+def test_case_digest_tracks_steps_not_seed():
+    case = _case()
+    assert FuzzCase.from_dict({**case.to_dict(), "seed": 99}).digest() == case.digest()
+    shorter = case.with_steps(case.steps[:1])
+    assert shorter.digest() != case.digest()
+
+
+def test_steps_validate_op_and_write_data():
+    with pytest.raises(ValueError):
+        FuzzStep("cpu0", "erase", 0x0)
+    with pytest.raises(ValueError):
+        FuzzStep("cpu0", "write", 0x0)  # no data
+
+
+# -- generator --------------------------------------------------------------------
+
+
+def test_generator_is_deterministic_per_seed():
+    a = SequenceGenerator(SPEC, seed=11)
+    b = SequenceGenerator(SPEC, seed=11)
+    cases_a = [a.generate(8) for _ in range(5)]
+    cases_b = [b.generate(8) for _ in range(5)]
+    assert cases_a == cases_b
+    assert [a.mutate(c) for c in cases_a] == [b.mutate(c) for c in cases_b]
+    assert SequenceGenerator(SPEC, seed=12).generate(8) != cases_a[0]
+
+
+def test_generator_templates_speak_the_device_protocols():
+    generator = SequenceGenerator(SPEC, seed=0)
+    addresses = {step.address for step in generator.templates}
+    boot = SPEC.topology.slave("boot0")
+    assert boot.base + 0x8 in addresses  # DEBUG register
+    assert boot.base + 0x0 in addresses  # STAGE register
+    assert boot.base + 0x10 in addresses  # first key word
+    assert all(step.master == "" for step in generator.templates)
+
+
+def test_generated_steps_stay_inside_the_address_map():
+    generator = SequenceGenerator(SPEC, seed=2)
+    slaves = list(SPEC.topology.slaves)
+    for case in (generator.generate(20) for _ in range(10)):
+        for step in case.steps:
+            assert any(s.base <= step.address < s.end for s in slaves)
+            assert step.master in {"cpu0", "cpu1"}
+
+
+# -- oracle + shrinker ------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def leak_violation():
+    oracle = BypassOracle(SPEC)
+    boot = SPEC.topology.slave("boot0")
+    noise = FuzzStep("cpu1", "read", 0x0)
+    case = FuzzCase(
+        scenario=SPEC.name,
+        seed=0,
+        steps=(
+            noise,
+            FuzzStep("cpu0", "write", boot.base + 0x8, data=b"\x01\x00\xb6\xde"),
+            noise,
+            FuzzStep("cpu0", "write", boot.base + 0x0, data=b"\x00" * 4),
+            noise,
+            FuzzStep("cpu0", "read", boot.base + 0x10),
+            noise,
+        ),
+    )
+    result = oracle.run(case)
+    assert [v.kind for v in result.violations] == ["guard_leak"]
+    return oracle, case, result.violations[0]
+
+
+def test_oracle_flags_the_planted_leak_with_a_witness(leak_violation):
+    _, _, violation = leak_violation
+    assert violation.identity == ("guard_leak", "cpu0", "boot0", "read")
+    witness = violation.witness
+    assert witness.expectation == "reaches_silently"
+    assert witness.target == "boot0"
+
+
+def test_oracle_is_clean_on_the_honest_protocol():
+    oracle = BypassOracle(SPEC)
+    boot = SPEC.topology.slave("boot0")
+    result = oracle.run(FuzzCase(
+        scenario=SPEC.name,
+        seed=0,
+        steps=(
+            FuzzStep("cpu0", "write", boot.base, data=b"\x03\x00\x00\x00"),  # advance
+            FuzzStep("cpu0", "read", boot.base + 0x10),  # keys are wiped: no leak
+        ),
+    ))
+    assert result.clean
+    assert result.steps_run == 2
+    assert result.signature  # stage_advances showed up in the coverage signature
+
+
+def test_shrinker_reduces_to_the_three_step_chain(leak_violation):
+    oracle, case, violation = leak_violation
+    minimized = shrink_case(oracle, case, violation)
+    assert len(minimized) == 3
+    assert [s.op for s in minimized.steps] == ["write", "write", "read"]
+    replay = oracle.run(minimized)
+    assert any(v.identity == violation.identity for v in replay.violations)
+
+
+def test_shrinker_refuses_a_non_reproducing_premise(leak_violation):
+    oracle, case, violation = leak_violation
+    benign = case.with_steps(case.steps[:1])
+    assert shrink_case(oracle, benign, violation) == benign
+
+
+# -- corpus -----------------------------------------------------------------------
+
+
+def test_corpus_round_trips_through_store_and_json(tmp_path, leak_violation):
+    _, case, violation = leak_violation
+    corpus = Corpus(ResultStore(tmp_path / "store"))
+    key = corpus.add(case, violation.to_dict(), {"object": {"steps": []}})
+    assert key == f"fuzz/{case.scenario}/{case.digest()}"
+    assert corpus.has(case)
+    assert corpus.cases("planted_backdoor") == [case]
+    assert corpus.cases("other") == []
+
+    path = tmp_path / "corpus.json"
+    export_cases(path, [e["result"] for e in corpus.entries()])
+    loaded = load_cases(path)
+    assert len(loaded) == 1
+    assert FuzzCase.from_dict(loaded[0]["case"]) == case
+    assert loaded[0]["violation"]["kind"] == "guard_leak"
+
+
+def test_load_cases_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 99, "cases": []}))
+    with pytest.raises(ValueError):
+        load_cases(path)
+
+
+# -- the fuzzing loop -------------------------------------------------------------
+
+
+def test_fuzz_scenario_is_bit_reproducible():
+    kwargs = dict(seed=5, budget=8, n_steps=6, engines=("object",), shrink=False)
+    first = fuzz_scenario(get_scenario("minimal_1x1"), **kwargs)
+    second = fuzz_scenario(get_scenario("minimal_1x1"), **kwargs)
+    assert first.to_dict() == second.to_dict()
+    assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+        second.to_dict(), sort_keys=True
+    )
+    assert first.cases_run == 8
+    assert first.clean
+
+
+def test_replay_case_reports_engine_and_fingerprint(leak_violation):
+    _, case, _ = leak_violation
+    replay = replay_case(SPEC, case, "vector")
+    assert replay["engine"] == "vector"
+    assert replay["engine_used"] == "vector"
+    assert replay["fallback_reason"] is None
+    assert len(replay["steps"]) == len(case)
+    assert "alerts" in replay["fingerprint"]
+
+
+# -- CLI --------------------------------------------------------------------------
+
+
+def test_cli_fuzz_clean_scenario_exits_zero(capsys):
+    assert main(["fuzz", "minimal_1x1", "--seed", "1", "--budget", "4",
+                 "--steps", "4", "--engine", "object"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_cli_fuzz_planted_backdoor_exits_one_with_json(capsys):
+    code = main(["fuzz", "planted_backdoor", "--seed", "0", "--budget", "60",
+                 "--steps", "10", "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    finding = payload["findings"][0]
+    assert finding["violation"]["kind"] == "guard_leak"
+    assert finding["engines_identical"] is True
+
+
+def test_cli_fuzz_unknown_scenario_fails(capsys):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "no_such_scenario", "--budget", "1"])
+
+
+def test_cli_fuzz_replay_checks_the_committed_corpus(capsys):
+    assert main(["fuzz", "planted_backdoor",
+                 "--replay", "tests/corpus/planted_backdoor.json"]) == 0
+    out = capsys.readouterr().out
+    assert "0 failure(s)" in out

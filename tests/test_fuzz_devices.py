@@ -1,0 +1,224 @@
+"""Unit tests for the stateful protocol devices behind the attack chains.
+
+Each device is driven directly through its ``access`` path (the same entry
+the bus uses), so these tests pin the protocol state machines independently
+of any firewall or scenario wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.devices import (
+    DmaDescriptorRing,
+    FirmwareUpdateIP,
+    SecureBootSequencer,
+    derive_boot_keys,
+)
+from repro.soc.kernel import Simulator
+from repro.soc.transaction import BusOperation, BusTransaction
+
+
+def _write(device, index: int, value: int, master: str = "cpu0") -> None:
+    device.access(BusTransaction(
+        master=master,
+        operation=BusOperation.WRITE,
+        address=device.base + 4 * index,
+        data=(value & 0xFFFFFFFF).to_bytes(4, "little"),
+    ))
+
+
+def _read(device, index: int, master: str = "cpu0") -> int:
+    txn = BusTransaction(
+        master=master,
+        operation=BusOperation.READ,
+        address=device.base + 4 * index,
+    )
+    _, data = device.access(txn)
+    return int.from_bytes(data[:4], "little")
+
+
+# -- firmware update state machine ------------------------------------------------
+
+
+def _firmware() -> FirmwareUpdateIP:
+    return FirmwareUpdateIP(Simulator(), "fw0", base=0x4000_0000)
+
+
+def test_firmware_happy_path_commits():
+    fw = _firmware()
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.UNLOCK_MAGIC)
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.ARM_MAGIC)
+    _write(fw, FirmwareUpdateIP.STAGING_BASE, 0x1234_5678)
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.COMMIT_MAGIC)
+    assert fw.commits == 1
+    assert fw.stats["firmware_commits"] == 1
+    assert fw.state == FirmwareUpdateIP.ST_LOCKED  # re-locks after commit
+    assert not fw.error
+
+
+def test_firmware_staging_outside_armed_window_is_a_violation():
+    fw = _firmware()
+    _write(fw, FirmwareUpdateIP.STAGING_BASE, 0xBAD, master="cpu1")
+    assert fw.error
+    assert fw.stats["protocol_violations"] == 1
+    assert fw.stats["last_violation_by"] == "cpu1"
+    # The word did not land in the staging buffer.
+    assert _read(fw, FirmwareUpdateIP.STAGING_BASE) == 0
+
+
+def test_firmware_out_of_order_magic_resets_to_locked():
+    fw = _firmware()
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.UNLOCK_MAGIC)
+    # COMMIT without ARM (and without staged words) is a protocol error.
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.COMMIT_MAGIC)
+    assert fw.commits == 0
+    assert fw.state == FirmwareUpdateIP.ST_LOCKED
+    status = _read(fw, FirmwareUpdateIP.REG_STATUS)
+    assert status & FirmwareUpdateIP.ERROR_FLAG
+
+
+def test_firmware_commit_needs_staged_words():
+    fw = _firmware()
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.UNLOCK_MAGIC)
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.ARM_MAGIC)
+    _write(fw, FirmwareUpdateIP.REG_CTRL, FirmwareUpdateIP.COMMIT_MAGIC)
+    assert fw.commits == 0 and fw.error
+
+
+def test_firmware_status_is_read_only():
+    fw = _firmware()
+    _write(fw, FirmwareUpdateIP.REG_STATUS, 0xFFFF)
+    assert fw.error
+    assert _read(fw, FirmwareUpdateIP.REG_STATUS) != 0xFFFF
+
+
+# -- DMA descriptor ring ----------------------------------------------------------
+
+
+def _ring() -> DmaDescriptorRing:
+    return DmaDescriptorRing(Simulator(), "ring0", base=0x4100_0000)
+
+
+def _program_descriptor(ring, slot: int, src: int, dst: int, length: int) -> None:
+    start = DmaDescriptorRing.DESC_BASE + DmaDescriptorRing.DESC_WORDS * slot
+    _write(ring, start + 0, src)
+    _write(ring, start + 1, dst)
+    _write(ring, start + 2, length)
+    _write(ring, start + 3, 1)
+
+
+def test_ring_doorbell_latches_head_descriptor():
+    ring = _ring()
+    _program_descriptor(ring, 0, 0x1000, 0x9000_0000, 64)
+    _write(ring, DmaDescriptorRing.REG_HEAD, 0)
+    _write(ring, DmaDescriptorRing.REG_DOORBELL, 1)
+    assert ring.latched == [(0x1000, 0x9000_0000, 64, 1)]
+    assert ring.busy
+    assert ring.stats["descriptors_latched"] == 1
+
+
+def test_ring_rejects_reprogramming_while_busy():
+    ring = _ring()
+    _program_descriptor(ring, 0, 0x1000, 0x2000, 64)
+    _write(ring, DmaDescriptorRing.REG_DOORBELL, 1)
+    assert ring.busy
+    before = ring.descriptor(0)
+    _write(ring, DmaDescriptorRing.DESC_BASE + 1, 0xDEAD_0000)  # rewrite dst
+    _write(ring, DmaDescriptorRing.REG_HEAD, 1)
+    _write(ring, DmaDescriptorRing.REG_DOORBELL, 1)  # double doorbell
+    assert ring.descriptor(0) == before
+    assert ring.stats["protocol_violations"] == 3
+    # Acknowledge completion: the ring goes idle and accepts writes again.
+    _write(ring, DmaDescriptorRing.REG_STATUS, DmaDescriptorRing.ST_IDLE)
+    assert not ring.busy
+    assert ring.stats["completions_acked"] == 1
+
+
+def test_ring_zero_length_descriptor_does_not_launch():
+    ring = _ring()
+    _write(ring, DmaDescriptorRing.REG_DOORBELL, 1)
+    assert ring.latched == []
+    assert not ring.busy
+    assert ring.stats["protocol_violations"] == 1
+
+
+# -- secure boot sequencer --------------------------------------------------------
+
+
+def _boot(**kwargs) -> SecureBootSequencer:
+    return SecureBootSequencer(Simulator(), "boot0", base=0x4200_0000, **kwargs)
+
+
+def test_boot_keys_are_wiped_once_provisioned():
+    boot = _boot()
+    assert boot.stage == SecureBootSequencer.PROVISIONED
+    for index in range(SecureBootSequencer.KEY_BASE, boot.n_registers):
+        assert _read(boot, index) == 0
+    assert boot.leaks == []  # zeroed reads are not leaks
+
+
+def test_boot_rollback_without_debug_trips_tamper():
+    boot = _boot()
+    _write(boot, SecureBootSequencer.REG_STAGE, 0, master="cpu1")
+    assert boot.tampered
+    assert _read(boot, SecureBootSequencer.REG_TAMPER) == 1
+    assert boot.stats["rollback_attempts"] == 1
+    assert _read(boot, SecureBootSequencer.KEY_BASE) == 0
+    assert boot.leaks == []
+
+
+def test_boot_debug_magic_is_inert_when_not_compiled_in():
+    boot = _boot(debug_unlock=False)
+    _write(boot, SecureBootSequencer.REG_DEBUG, SecureBootSequencer.DEBUG_MAGIC)
+    assert not boot.debug_mode
+    _write(boot, SecureBootSequencer.REG_STAGE, 0)
+    assert boot.tampered  # rollback still tampers
+
+
+def test_boot_debug_backdoor_restores_keys_and_records_leaks():
+    boot = _boot(debug_unlock=True)
+    _write(boot, SecureBootSequencer.REG_DEBUG, SecureBootSequencer.DEBUG_MAGIC)
+    assert boot.debug_mode and boot.stats["debug_unlocks"] == 1
+    _write(boot, SecureBootSequencer.REG_STAGE, 0)
+    assert not boot.tampered
+    assert boot.stats["debug_rollbacks"] == 1
+    expected = derive_boot_keys(0xB007_0001, boot.n_keys)
+    assert _read(boot, SecureBootSequencer.KEY_BASE, master="cpu1") == expected[0]
+    assert boot.leaks == [("cpu1", SecureBootSequencer.KEY_BASE)]
+    assert boot.stats["boot_key_leaks"] == 1
+
+
+def test_boot_tamper_latch_disables_the_backdoor():
+    boot = _boot(debug_unlock=True)
+    _write(boot, SecureBootSequencer.REG_STAGE, 0)  # tamper first
+    assert boot.tampered
+    _write(boot, SecureBootSequencer.REG_DEBUG, SecureBootSequencer.DEBUG_MAGIC)
+    _write(boot, SecureBootSequencer.REG_STAGE, 1)
+    _write(boot, SecureBootSequencer.REG_STAGE, 0)
+    assert _read(boot, SecureBootSequencer.KEY_BASE) == 0  # keys stay wiped
+
+
+def test_boot_key_bank_is_read_only():
+    boot = _boot()
+    _write(boot, SecureBootSequencer.KEY_BASE, 0x1234)
+    assert boot.stats["protocol_violations"] == 1
+    assert _read(boot, SecureBootSequencer.KEY_BASE) == 0
+
+
+def test_derive_boot_keys_is_deterministic_and_non_zero():
+    a = derive_boot_keys(7, 8)
+    b = derive_boot_keys(7, 8)
+    assert a == b
+    assert all(k != 0 for k in a)
+    assert derive_boot_keys(8, 8) != a
+
+
+def test_device_constructors_reject_too_small_register_files():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FirmwareUpdateIP(sim, "fw", base=0, n_registers=2)
+    with pytest.raises(ValueError):
+        DmaDescriptorRing(sim, "ring", base=0, n_registers=4)
+    with pytest.raises(ValueError):
+        SecureBootSequencer(sim, "boot", base=0, n_registers=4)

@@ -6,7 +6,8 @@ engine's whole contract is fingerprint-identical replay of the object path —
 both break silently if the code under them observes wall clocks, unseeded
 randomness, or iteration orders Python does not guarantee.  This lint walks
 the ASTs of ``src/repro/engine/`` and ``src/repro/sweep/`` (no imports, no
-execution) and fails on:
+execution) — plus ``src/repro/fuzz/``, whose seeded search makes the same
+bit-reproducibility promise — and fails on:
 
 ``unseeded-random``
     Any use of the module-level ``random.*`` functions (``random.random()``,
@@ -39,7 +40,7 @@ import sys
 from typing import List, Sequence, Tuple
 
 #: Directories whose code feeds fingerprinted results.
-DEFAULT_TARGETS = ("src/repro/engine", "src/repro/sweep")
+DEFAULT_TARGETS = ("src/repro/engine", "src/repro/sweep", "src/repro/fuzz")
 
 WAIVER = "# determinism: allow"
 
